@@ -1,0 +1,7 @@
+"""Shared benchmark settings (importable without conftest collisions)."""
+
+import os
+
+#: Scales workload iteration counts for every benchmark (default: the
+#: calibrated full-scale runs used by EXPERIMENTS.md).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))

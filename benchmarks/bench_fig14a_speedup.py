@@ -1,0 +1,53 @@
+"""Figure 14a: speedup of FSDetect and FSLite over baseline MESI.
+
+Paper: FSDetect is within noise of baseline (0.3% mean overhead, worst 3%
+on SM). FSLite reaches 1.39X geomean, up to 3.91X on RC, and beats the
+manual fix on LT and RC.
+"""
+
+from repro.harness import experiments as E
+
+from _bench_common import BENCH_SCALE
+
+
+def test_fig14a_speedup(benchmark, experiment_cache, record_result):
+    result = benchmark.pedantic(
+        lambda: experiment_cache("fig14", E.fig14_speedup_energy,
+                                 BENCH_SCALE),
+        rounds=1, iterations=1)
+    record_result("fig14a_speedup", result)
+    det = dict(zip(result.column("app"), result.column("fsdetect_speedup")))
+    fsl = dict(zip(result.column("app"), result.column("fslite_speedup")))
+
+    # FSDetect: detection is nearly free.
+    for app, s in det.items():
+        if app != "geomean":
+            assert 0.94 <= s <= 1.06, (app, s)
+
+    # FSLite: the headline result.
+    geo = result.summary["fslite_geomean"]
+    assert 1.2 <= geo <= 1.6, f"FSLite geomean {geo} vs paper 1.39"
+    assert fsl["RC"] > 3.0
+    assert fsl["RC"] == max(v for k, v in fsl.items() if k != "geomean")
+    for strong in ("LL", "LR"):
+        assert fsl[strong] > 1.3
+    for mild in ("BS", "SF", "SM"):
+        assert 0.97 <= fsl[mild] <= 1.15
+    # SC has too little false sharing to matter (excluded later, as in
+    # the paper).
+    assert 0.97 <= fsl["SC"] <= 1.05
+
+
+def test_fig14a_fslite_beats_manual_on_rc_and_lt(benchmark,
+                                                 experiment_cache,
+                                                 record_result):
+    """The paper's key qualitative claim: automated repair can beat the
+    hand fix because it neither inflates the working set (LT) nor changes
+    the data layout (RC)."""
+    fig14 = experiment_cache("fig14", E.fig14_speedup_energy, BENCH_SCALE)
+    fig02 = experiment_cache("fig02", E.fig02_manual_fix, BENCH_SCALE)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    fsl = dict(zip(fig14.column("app"), fig14.column("fslite_speedup")))
+    man = dict(zip(fig02.column("app"), fig02.column("speedup")))
+    assert fsl["RC"] > man["RC"]
+    assert fsl["LT"] > man["LT"]

@@ -1,0 +1,53 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark runs one paper experiment (figure or table), asserts the
+paper's *shape* (who wins, roughly by what factor — not absolute numbers;
+see EXPERIMENTS.md), and records the rendered result table both to stdout
+and to ``benchmarks/results/<name>.txt``.
+
+Experiments are cached per session so e.g. Figure 14a and 14b share their
+underlying simulation runs. ``REPRO_BENCH_SCALE`` scales workload lengths
+(default 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from _bench_common import BENCH_SCALE
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_cache = {}
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def experiment_cache():
+    """Memoize experiment results across benchmarks in one session."""
+    def run(name, fn, *args, **kwargs):
+        key = (name, BENCH_SCALE)
+        if key not in _cache:
+            _cache[key] = fn(*args, **kwargs)
+        return _cache[key]
+    return run
+
+
+@pytest.fixture
+def record_result():
+    """Persist and print an ExperimentResult."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name, result):
+        text = result.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return text
+    return write

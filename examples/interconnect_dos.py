@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""False sharing as a denial-of-service vector — and FSLite as the defense.
+
+The paper's introduction observes that a malicious multithreaded program
+hammering a large volume of falsely-shared blocks can drive the on-chip
+interconnect toward saturation, starving co-scheduled processes. This
+example stages exactly that: an "attacker" (threads 0-1) ping-pongs many
+falsely-shared lines while a "victim" (threads 2-3) runs a well-behaved
+private workload. Under baseline MESI the attacker floods the network;
+under FSLite the attack collapses after privatization.
+
+Run:  python examples/interconnect_dos.py
+"""
+
+from repro import ProtocolMode, Simulator, SystemConfig, build_machine
+from repro.cpu.ops import compute, load, store
+
+ATTACK_LINES = 32
+ATTACK_BASE = 0x100000
+VICTIM_BASE = 0x900000
+
+
+def attacker(tid, iters=1200):
+    """Two threads write disjoint halves of many shared lines."""
+    def prog():
+        for i in range(iters):
+            line = ATTACK_BASE + (i % ATTACK_LINES) * 64
+            yield store(line + 8 * tid, i, size=8)
+            yield compute(1)
+    return prog()
+
+
+def victim(tid, iters=600):
+    """Innocent thread-private streaming work."""
+    base = VICTIM_BASE + tid * 0x10000
+    def prog():
+        for i in range(iters):
+            for k in range(4):
+                yield load(base + ((i * 4 + k) % 512) * 8, size=8,
+                           need_value=False)
+            yield store(base + (i % 512) * 8, i, size=8)
+            yield compute(10)
+    return prog()
+
+
+def run(mode):
+    machine = build_machine(SystemConfig(num_cores=8), mode)
+    machine.attach_programs([attacker(0), attacker(1),
+                             victim(0), victim(1)])
+    result = Simulator(machine).run()
+    victim_finish = max(machine.cores[2].finish_cycle,
+                        machine.cores[3].finish_cycle)
+    return result, victim_finish
+
+
+def main():
+    print(f"{'protocol':10s} {'net msgs':>9s} {'net bytes':>10s} "
+          f"{'inv/intv':>9s} {'victim done @':>13s}")
+    base_msgs = None
+    for mode in (ProtocolMode.MESI, ProtocolMode.FSLITE):
+        result, victim_finish = run(mode)
+        s = result.stats
+        if base_msgs is None:
+            base_msgs = s.total_messages
+        print(f"{mode.value:10s} {s.total_messages:9d} {s.total_bytes:10d} "
+              f"{s.inv_intervention_messages:9d} {victim_finish:13d}")
+        if mode is ProtocolMode.FSLITE:
+            print(f"\nFSLite cut the attack's interconnect traffic by "
+                  f"{1 - s.total_messages / base_msgs:.0%} "
+                  f"({s.privatizations} lines privatized). On real "
+                  f"bandwidth-limited fabric that traffic is what starves "
+                  f"co-runners; our network model has unbounded bandwidth, "
+                  f"so the victim's own timing is unchanged here and the "
+                  f"damage metric is the message volume itself.")
+
+
+if __name__ == "__main__":
+    main()

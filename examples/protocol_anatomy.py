@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Anatomy of a privatized episode: watch the FSLite protocol work.
+
+Traces the coherence messages for one falsely-shared line through its full
+life cycle: MESI ping-pong, detection (FC/IC crossing τP), privatization
+(TR_PRV / REP_MD / Data_PRV), private operation (GetCHK/GetXCHK first
+touches, then pure hits), a true-sharing conflict, and termination
+(Inv_PRV / Prv_WB) with the byte-level merge.
+
+Run:  python examples/protocol_anatomy.py
+"""
+
+from repro import ProtocolMode, Simulator, SystemConfig, build_machine
+from repro.cpu.ops import compute, fetch_add, store
+from repro.system.simulator import flush_machine_memory
+from repro.system.tracing import FSLITE_TYPES, MessageTracer
+
+LINE = 0x40000
+
+
+def worker(tid, iters=120):
+    def prog():
+        for i in range(iters):
+            yield store(LINE + 8 * tid, i + 1, size=8)
+            yield compute(3)
+        if tid == 0:
+            # Touch a peer's byte: a true-sharing conflict that terminates
+            # the privatized episode.
+            yield fetch_add(LINE + 8, 1, size=8)
+    return prog()
+
+
+def main():
+    config = SystemConfig(num_cores=4)
+    machine = build_machine(config, ProtocolMode.FSLITE)
+    machine.attach_programs([worker(t) for t in range(4)])
+
+    count = [0]
+
+    def first_dozen_or_fslite(msg):
+        count[0] += 1
+        return msg.block_addr == LINE and (msg.mtype in FSLITE_TYPES
+                                           or count[0] <= 12)
+
+    tracer = MessageTracer(machine, predicate=first_dozen_or_fslite)
+    with tracer:
+        result = Simulator(machine).run()
+
+    print(f"Messages for line {LINE:#x} (first 12 + all FSLite traffic):\n")
+    print(tracer.render(max_lines=60))
+
+    s = result.stats
+    print(f"\nPrivatizations: {s.privatizations}   "
+          f"terminations: {s.terminations}")
+    image = flush_machine_memory(machine)
+    values = [int.from_bytes(image[LINE][8 * t:8 * t + 8], "little")
+              for t in range(4)]
+    print(f"Final counter values (merge check): {values}")
+    assert values[0] == 120
+    assert values[1] == 121  # 120 stores + core 0's conflicting increment
+    assert values[2] == values[3] == 120
+    print("Byte-level merge preserved every thread's data. OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Compare repair strategies on the reference-count workload (the paper's
+headline case): baseline, manual padding, Huron-style static repair, and
+FSLite's on-the-fly privatization.
+
+RC is where FSLite shines: padding the counter arrays changes the data
+layout (extra address arithmetic) while FSLite repairs in place, so the
+hardware fix beats the hand fix (paper: 3.91X vs 3.06X).
+
+Run:  python examples/repair_comparison.py
+"""
+
+from repro.coherence.states import ProtocolMode
+from repro.harness.baselines import run_huron, run_manual_fix
+from repro.harness.runner import run_workload
+
+
+def main():
+    tag = "RC"
+    print(f"Workload: {tag} (per-thread reference counters packed in one "
+          f"cache line)\n")
+    base = run_workload(tag)
+    rows = [
+        ("baseline MESI", base),
+        ("manual fix (padding)", run_manual_fix(tag)),
+        ("Huron-style static repair", run_huron(tag)),
+        ("FSLite (on-the-fly)", run_workload(tag, ProtocolMode.FSLITE)),
+    ]
+    print(f"{'strategy':28s} {'cycles':>9s} {'speedup':>8s} "
+          f"{'L1 miss':>8s} {'energy':>7s}")
+    for name, rec in rows:
+        print(f"{name:28s} {rec.cycles:9d} "
+              f"{base.cycles / rec.cycles:8.2f} "
+              f"{rec.l1_miss_rate:8.2%} "
+              f"{rec.energy_nj / base.energy_nj:7.2f}")
+    fsl = rows[-1][1]
+    man = rows[1][1]
+    print()
+    if fsl.cycles < man.cycles:
+        print("FSLite beats the manual fix: it repairs without inflating "
+              "the working set or changing the data layout (Section VIII-B).")
+    print(f"Privatizations: {fsl.stats.privatizations}, "
+          f"terminations: {fsl.stats.terminations}")
+
+
+if __name__ == "__main__":
+    main()

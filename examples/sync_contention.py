@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Utility beyond false sharing (paper Section VII): find contended
+synchronization variables with the same FSDetect machinery.
+
+A truly-shared line whose FC/IC counters cross the privatization threshold
+while the TS bit is set is not false sharing — it is a *hot* shared
+variable: a contended lock, a global counter. FSDetect reports these as
+`ContendedLineReport`s, turning the false-sharing detector into a lock-
+contention profiler for free.
+
+Run:  python examples/sync_contention.py
+"""
+
+from collections import Counter
+
+from repro import ProtocolMode, Simulator, SystemConfig, build_machine
+from repro.cpu.ops import cas, compute, fetch_add, load, store
+
+HOT_LOCK = 0x10000     # one global lock everyone fights over
+COLD_LOCKS = 0x20000   # per-thread locks, padded: no contention
+FS_LINE = 0x30000      # and one falsely-shared line for contrast
+
+
+def worker(tid, iters=300):
+    def prog():
+        for i in range(iters):
+            # Contended global lock (true sharing, hot).
+            while True:
+                old = yield cas(HOT_LOCK, 0, 1)
+                if old == 0:
+                    break
+                yield compute(5)
+            yield fetch_add(HOT_LOCK + 8, 1, size=8)
+            yield store(HOT_LOCK, 0)
+            # Private lock (never contended).
+            old = yield cas(COLD_LOCKS + 64 * tid, 0, 1)
+            assert old == 0
+            yield store(COLD_LOCKS + 64 * tid, 0)
+            # Falsely-shared slot (for contrast in the report).
+            yield store(FS_LINE + 8 * tid, i, size=8)
+            yield compute(4)
+    return prog()
+
+
+def main():
+    machine = build_machine(SystemConfig(num_cores=8),
+                            ProtocolMode.FSDETECT)
+    machine.attach_programs([worker(t) for t in range(4)])
+    result = Simulator(machine).run()
+    stats = result.stats
+
+    print("FSDetect classification of the three shared structures:\n")
+    fs_lines = Counter(r.block_addr for r in stats.reports)
+    contended = Counter(
+        r.block_addr for r in stats.extra["contended_lines"])
+
+    def describe(addr, name):
+        if fs_lines.get(addr):
+            kind = f"FALSE SHARING ({fs_lines[addr]} instances)"
+        elif contended.get(addr):
+            kind = (f"CONTENDED SYNC VARIABLE "
+                    f"({contended[addr]} reports)")
+        else:
+            kind = "quiet"
+        print(f"  {name:28s} {addr:#08x}  ->  {kind}")
+
+    describe(HOT_LOCK, "global lock + counter")
+    describe(COLD_LOCKS, "padded per-thread locks")
+    describe(FS_LINE, "packed per-thread slots")
+
+    assert contended.get(HOT_LOCK), "hot lock not flagged"
+    assert fs_lines.get(FS_LINE), "false sharing not flagged"
+    assert not contended.get(COLD_LOCKS) and not fs_lines.get(COLD_LOCKS)
+    print("\nThe detector separates lock contention from false sharing "
+          "from quiet data — with no extra hardware (Section VII).")
+
+
+if __name__ == "__main__":
+    main()

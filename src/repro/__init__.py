@@ -1,0 +1,47 @@
+"""repro — reproduction of "Leveraging Cache Coherence to Detect and Repair
+False Sharing On-the-fly" (MICRO 2024).
+
+Public API quick tour::
+
+    from repro import (
+        SystemConfig, ProtocolMode, build_machine, Simulator,
+    )
+
+    config = SystemConfig(num_cores=8)
+    machine = build_machine(config, ProtocolMode.FSLITE)
+    machine.attach_programs(my_thread_programs)
+    result = Simulator(machine).run()
+    print(result.cycles, result.stats.summary())
+
+Higher-level entry points live in :mod:`repro.harness` (per-figure
+experiment drivers) and :mod:`repro.workloads` (the benchmark proxies).
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    EnergyConfig,
+    ProtocolConfig,
+    SystemConfig,
+)
+from repro.coherence.states import DirState, L1State, ProtocolMode
+from repro.core.report import FalseSharingReport
+from repro.system.builder import Machine, build_machine
+from repro.system.simulator import RunResult, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "EnergyConfig",
+    "ProtocolConfig",
+    "SystemConfig",
+    "DirState",
+    "L1State",
+    "ProtocolMode",
+    "FalseSharingReport",
+    "Machine",
+    "build_machine",
+    "RunResult",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,171 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``run <tag>`` — simulate one workload under a protocol and print stats.
+* ``compare <tag>`` — baseline vs FSDetect vs FSLite vs manual fix.
+* ``detect <tag...>`` — FSDetect report: falsely-shared lines, contended
+  truly-shared lines, conflict evidence.
+* ``experiment <name>`` — run one paper experiment (fig02, fig13, fig14,
+  fig15, fig16, fig17, traffic, sam_size, reader_opt, granularity,
+  big_l1d, ooo, table2) and print its table.
+* ``list`` — available workloads and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.coherence.states import ProtocolMode
+from repro.harness import experiments as E
+from repro.harness.export import records_to_csv
+from repro.harness.runner import run_workload
+from repro.workloads.registry import ALL_WORKLOADS, MICROBENCHMARKS, REGISTRY
+
+EXPERIMENTS = {
+    "fig02": E.fig02_manual_fix,
+    "fig13": E.fig13_miss_fraction,
+    "fig14": E.fig14_speedup_energy,
+    "fig15": E.fig15_no_fs,
+    "fig16": E.fig16_tau_p,
+    "fig17": E.fig17_huron,
+    "traffic": E.traffic_reduction,
+    "sam_size": E.sam_size,
+    "reader_opt": E.reader_opt,
+    "granularity": E.granularity,
+    "big_l1d": E.big_l1d,
+    "ooo": E.ooo,
+}
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FSDetect/FSLite reproduction (MICRO 2024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p.add_argument("tag", choices=sorted(REGISTRY))
+    run_p.add_argument("--protocol", default="mesi",
+                       choices=[m.value for m in ProtocolMode])
+    run_p.add_argument("--layout", default="packed",
+                       choices=["packed", "padded", "huron"])
+    run_p.add_argument("--scale", type=float, default=1.0)
+    run_p.add_argument("--threads", type=int, default=4)
+    run_p.add_argument("--core", default="inorder",
+                       choices=["inorder", "ooo"])
+    run_p.add_argument("--csv", metavar="PATH",
+                       help="append the flattened record to a CSV file")
+
+    cmp_p = sub.add_parser("compare",
+                           help="baseline vs FSDetect vs FSLite vs manual")
+    cmp_p.add_argument("tag", choices=sorted(REGISTRY))
+    cmp_p.add_argument("--scale", type=float, default=1.0)
+
+    det_p = sub.add_parser("detect", help="FSDetect profiling report")
+    det_p.add_argument("tags", nargs="+", choices=sorted(REGISTRY))
+    det_p.add_argument("--scale", type=float, default=0.5)
+
+    exp_p = sub.add_parser("experiment", help="run one paper experiment")
+    exp_p.add_argument("name", choices=sorted(EXPERIMENTS) + ["table2"])
+    exp_p.add_argument("--scale", type=float, default=1.0)
+
+    sub.add_parser("list", help="available workloads and experiments")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    record = run_workload(args.tag, ProtocolMode(args.protocol),
+                          layout=args.layout, scale=args.scale,
+                          num_threads=args.threads, core_model=args.core)
+    for key, value in record.stats.summary().items():
+        print(f"{key:22s} {value}")
+    if args.csv:
+        records_to_csv([record], args.csv)
+        print(f"record written to {args.csv}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    base = run_workload(args.tag, scale=args.scale)
+    rows = [
+        ("mesi", base),
+        ("fsdetect", run_workload(args.tag, ProtocolMode.FSDETECT,
+                                  scale=args.scale)),
+        ("fslite", run_workload(args.tag, ProtocolMode.FSLITE,
+                                scale=args.scale)),
+        ("manual-fix", run_workload(args.tag, layout="padded",
+                                    scale=args.scale)),
+    ]
+    print(f"{'variant':12s} {'cycles':>10s} {'speedup':>8s} {'miss':>7s} "
+          f"{'energy':>7s} {'priv':>5s}")
+    for name, rec in rows:
+        print(f"{name:12s} {rec.cycles:10d} "
+              f"{base.cycles / rec.cycles:8.2f} "
+              f"{rec.l1_miss_rate:7.2%} "
+              f"{rec.energy_nj / base.energy_nj:7.2f} "
+              f"{rec.stats.privatizations:5d}")
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    for tag in args.tags:
+        record = run_workload(tag, ProtocolMode.FSDETECT, scale=args.scale)
+        stats = record.stats
+        lines = sorted({r.block_addr for r in stats.reports})
+        print(f"\n{tag}: {len(stats.reports)} false-sharing instance(s) "
+              f"on {len(lines)} line(s)")
+        for report in stats.reports[:5]:
+            print(f"  {report}")
+        contended = stats.extra.get("contended_lines", [])
+        if contended:
+            print(f"  {len(contended)} contended truly-shared line "
+                  f"report(s) (likely synchronization variables):")
+            for rep in contended[:3]:
+                print(f"    {rep}")
+        conflicts = stats.extra.get("true_sharing_conflicts", [])
+        if conflicts:
+            print(f"  {len(conflicts)} byte-level true-sharing "
+                  f"observation(s) recorded")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.name == "table2":
+        print(E.table2_overheads().render())
+        return 0
+    result = EXPERIMENTS[args.name](scale=args.scale)
+    print(result.render())
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("Applications with false sharing (Table III):")
+    print("  " + " ".join(t for t in ALL_WORKLOADS
+                          if REGISTRY[t].has_false_sharing))
+    print("Applications without false sharing:")
+    print("  " + " ".join(t for t in ALL_WORKLOADS
+                          if not REGISTRY[t].has_false_sharing))
+    print("Microbenchmarks:")
+    print("  " + " ".join(MICROBENCHMARKS))
+    print("Experiments:")
+    print("  " + " ".join(sorted(EXPERIMENTS) + ["table2"]))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "detect": _cmd_detect,
+        "experiment": _cmd_experiment,
+        "list": _cmd_list,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

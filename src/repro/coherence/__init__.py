@@ -1,0 +1,13 @@
+"""Directory-based MESI coherence with FSDetect/FSLite extensions."""
+
+from repro.coherence.states import DirState, L1State, ProtocolMode
+from repro.coherence.l1_controller import L1Controller
+from repro.coherence.directory import DirectorySlice
+
+__all__ = [
+    "DirState",
+    "L1State",
+    "ProtocolMode",
+    "L1Controller",
+    "DirectorySlice",
+]

@@ -1,0 +1,947 @@
+"""Directory / LLC slice controller.
+
+One :class:`DirectorySlice` per LLC slice. The slice owns:
+
+* the inclusive LLC data array with embedded directory state (owner /
+  sharer vector / PRV sharer set per block),
+* the improved non-blocking MESI baseline of Section VIII-A (the directory
+  serves GetX/Upgrade on S-state blocks and LLC-owned blocks without an
+  unblock message; interventions still serialize through a per-block busy
+  context),
+* the FSDetect hooks (FC/IC counting, REQ_MD piggybacking, REP_MD
+  ingestion, τ thresholds), and
+* the FSLite privatization engine (TR_PRV collection, PRV serving with
+  GetCHK/GetXCHK conflict checks, termination with byte-level merge).
+
+In-flight multi-message transactions are *busy contexts*; requests for a
+busy block queue FIFO and drain when the context resolves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Set
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ProtocolError
+from repro.common.events import EventQueue
+from repro.coherence.states import (
+    BusyKind,
+    DirState,
+    ProtocolMode,
+    TerminationCause,
+)
+from repro.core.fsdetect import FalseSharingDetector
+from repro.core.merge import merge_block
+from repro.core.pam import granule_mask
+from repro.core.report import DetectionAction
+from repro.interconnect.message import Message, MessageType
+from repro.interconnect.network import Network
+from repro.memsys.cache_array import CacheArray
+from repro.memsys.main_memory import MainMemory
+
+
+@dataclass
+class LlcLine:
+    data: bytearray
+    dirty: bool = False
+    state: DirState = DirState.I
+    owner: Optional[int] = None
+    sharers: Set[int] = field(default_factory=set)
+    prv_sharers: Set[int] = field(default_factory=set)
+
+    @property
+    def holders(self) -> Set[int]:
+        if self.state == DirState.EM:
+            return {self.owner}
+        if self.state == DirState.S:
+            return set(self.sharers)
+        if self.state == DirState.PRV:
+            return set(self.prv_sharers)
+        return set()
+
+
+@dataclass
+class BusyCtx:
+    kind: BusyKind
+    block: int
+    request: Optional[Message] = None
+    waiting: Set[int] = field(default_factory=set)
+    prospective: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+    requestor: Optional[int] = None
+    req_md: bool = False
+    upgrade: bool = False
+    conflict: bool = False
+    lw_snapshot: List[Optional[int]] = field(default_factory=list)
+    cause: Optional[TerminationCause] = None
+    #: Termination triggered by an LLC eviction merges into this buffer and
+    #: writes to memory instead of back into the LLC.
+    evict_data: Optional[bytearray] = None
+    #: Continuation invoked when the context resolves (fills, recalls).
+    then: Optional[Callable[[], None]] = None
+
+
+class DirectorySlice:
+    """One LLC/directory slice plus its FSDetect/FSLite engines."""
+
+    def __init__(
+        self,
+        slice_id: int,
+        node_id: int,
+        config: SystemConfig,
+        mode: ProtocolMode,
+        queue: EventQueue,
+        network: Network,
+        memory: MainMemory,
+        num_slices: int,
+    ) -> None:
+        self.slice_id = slice_id
+        self.node_id = node_id
+        self.config = config
+        self.mode = mode
+        self.queue = queue
+        self.network = network
+        self.memory = memory
+        self.num_slices = num_slices
+        self.block_size = config.block_size
+        self.granularity = config.protocol.tracking_granularity
+        # Per-slice LLC capacity: total size divided across slices; blocks
+        # map to slices by low block-number bits, so consecutive blocks of a
+        # slice are ``num_slices`` apart and the set index uses the full
+        # block number (handled by CacheArray's modulo with our set count).
+        slice_blocks = config.llc.num_blocks // num_slices
+        self.llc: CacheArray[LlcLine] = CacheArray(
+            num_sets=max(1, slice_blocks // config.llc.associativity),
+            ways=config.llc.associativity,
+            block_size=self.block_size,
+            policy="lru",
+            index_divisor=num_slices,
+            index_offset=slice_id,
+        )
+        self.detector: Optional[FalseSharingDetector] = None
+        if mode.detects:
+            self.detector = FalseSharingDetector(
+                config.protocol, self.block_size, config.num_cores,
+                index_divisor=num_slices, index_offset=slice_id)
+            self.detector.now = lambda: self.queue.now
+        self._busy: Dict[int, BusyCtx] = {}
+        self._pending: Dict[int, Deque[Message]] = {}
+        self.stats: Dict[str, int] = {
+            "requests": 0, "interventions_sent": 0, "invalidations_sent": 0,
+            "privatizations": 0, "privatization_aborts": 0,
+            "prv_joins": 0, "chk_pass": 0, "chk_fail": 0,
+            "upgrades_converted": 0, "regrants": 0,
+            "memory_fetches": 0, "memory_writebacks": 0,
+            "llc_data_accesses": 0, "sam_accesses": 0,
+            "stale_putm": 0, "recalls": 0,
+            "term_conflict": 0, "term_llc_eviction": 0,
+            "term_sam_eviction": 0, "term_external_socket": 0,
+            "term_init_abort": 0,
+        }
+        network.register(node_id, self.handle_message)
+
+    # ----------------------------------------------------------- utilities
+
+    def _line(self, block: int) -> LlcLine:
+        entry = self.llc.peek(block)
+        if entry is None:
+            raise ProtocolError(f"block {block:#x} not resident in LLC")
+        return entry.payload
+
+    def _gmask(self, byte_mask: int) -> int:
+        return granule_mask(byte_mask, self.granularity, self.block_size)
+
+    def _send(self, mtype: MessageType, dst: int, block: int,
+              payload: Optional[dict] = None, delay: int = 0) -> None:
+        self.network.send(Message(
+            mtype, src=self.node_id, dst=dst, block_addr=block,
+            payload=payload or {}),
+            extra_delay=self.config.llc.tag_latency + delay)
+
+    def _data_payload(self, line: LlcLine, **extra) -> dict:
+        self.stats["llc_data_accesses"] += 1
+        payload = {"data": bytes(line.data)}
+        payload.update(extra)
+        return payload
+
+    def _is_blocked(self, block: int) -> bool:
+        return block in self._busy
+
+    def _enqueue(self, msg: Message) -> None:
+        self._pending.setdefault(msg.block_addr, deque()).append(msg)
+
+    def _release_busy(self, block: int,
+                      rerun: Optional[Message] = None) -> None:
+        self._busy.pop(block, None)
+        if rerun is not None:
+            self._pending.setdefault(block, deque()).appendleft(rerun)
+        self.queue.schedule(0, lambda: self._drain(block))
+
+    def _drain(self, block: int) -> None:
+        queue = self._pending.get(block)
+        while queue and not self._is_blocked(block):
+            self._process_request(queue.popleft())
+        if queue is not None and not queue:
+            self._pending.pop(block, None)
+
+    # ------------------------------------------------------ message entry
+
+    _REQUEST_TYPES = (
+        MessageType.GET, MessageType.GETX, MessageType.UPGRADE,
+        MessageType.GETCHK, MessageType.GETXCHK,
+    )
+
+    def handle_message(self, msg: Message) -> None:
+        if msg.mtype in self._REQUEST_TYPES:
+            if self._is_blocked(msg.block_addr):
+                self._enqueue(msg)
+            else:
+                self._process_request(msg)
+            return
+        handler = {
+            MessageType.PUTM: self._on_putm,
+            MessageType.INV_ACK: self._on_inv_ack,
+            MessageType.DATA_WB: self._on_data_wb,
+            MessageType.XFER_ACK: self._on_xfer_ack,
+            MessageType.ACK_NO_DATA: self._on_ack_no_data,
+            MessageType.REP_MD: self._on_rep_md,
+            MessageType.PHANTOM_MD: self._on_phantom,
+            MessageType.PRV_WB: self._on_prv_wb,
+            MessageType.CTRL_WB: self._on_ctrl_wb,
+        }.get(msg.mtype)
+        if handler is None:
+            raise ProtocolError(f"directory cannot handle {msg}")
+        handler(msg)
+
+    # ------------------------------------------------------- request path
+
+    def _process_request(self, msg: Message) -> None:
+        block = msg.block_addr
+        if self._is_blocked(block):
+            self._enqueue(msg)
+            return
+        entry = self.llc.peek(block)
+        if entry is None:
+            self._start_fetch(msg)
+            return
+        self.llc.lookup(block)  # touch LRU
+        line = entry.payload
+        self.stats["requests"] += 1
+        demand = msg.mtype in (MessageType.GET, MessageType.GETX,
+                               MessageType.UPGRADE)
+        if (self.detector is not None and demand
+                and line.state != DirState.PRV):
+            self.detector.count_fetch(block)
+            action = self.detector.classify(block)
+            if action == DetectionAction.FLAG_FALSE_SHARING:
+                self.detector.report(block, self.queue.now,
+                                     privatized=self.mode.repairs)
+                if self.mode.repairs:
+                    self._start_prv_init(msg, line)
+                    return
+                self.detector.apply_reset(block)
+        # CHKs that arrive after the privatized episode ended behave as
+        # plain requests (Section V-C, conflict-detection epilogue).
+        mtype = msg.mtype
+        if line.state != DirState.PRV:
+            if mtype == MessageType.GETCHK:
+                mtype = MessageType.GET
+            elif mtype == MessageType.GETXCHK:
+                mtype = MessageType.GETX
+        if mtype == MessageType.GET:
+            self._do_get(msg, line)
+        elif mtype == MessageType.GETX:
+            self._do_getx(msg, line)
+        elif mtype == MessageType.UPGRADE:
+            self._do_upgrade(msg, line)
+        else:
+            self._do_chk(msg, line, is_write=mtype == MessageType.GETXCHK)
+
+    # -- baseline MESI ---------------------------------------------------------
+
+    def _do_get(self, msg: Message, line: LlcLine) -> None:
+        block, core = msg.block_addr, msg.src
+        if line.state == DirState.I:
+            line.state = DirState.EM
+            line.owner = core
+            self._send(MessageType.DATA_E, core, block,
+                       self._data_payload(line),
+                       delay=self.config.llc.data_latency)
+        elif line.state == DirState.S:
+            line.sharers.add(core)
+            self._send(MessageType.DATA, core, block,
+                       self._data_payload(line),
+                       delay=self.config.llc.data_latency)
+        elif line.state == DirState.EM:
+            if line.owner == core:
+                self.stats["regrants"] += 1
+                self._send(MessageType.DATA_E, core, block,
+                           self._data_payload(line),
+                           delay=self.config.llc.data_latency)
+                return
+            self._intervene(msg, line, MessageType.FWD_GET)
+        else:  # PRV
+            self._prv_join(msg, line, is_write=False)
+
+    def _do_getx(self, msg: Message, line: LlcLine) -> None:
+        block, core = msg.block_addr, msg.src
+        if line.state == DirState.I:
+            line.state = DirState.EM
+            line.owner = core
+            self._send(MessageType.DATA_E, core, block,
+                       self._data_payload(line),
+                       delay=self.config.llc.data_latency)
+        elif line.state == DirState.S:
+            # A GETX from a listed sharer means the core silently evicted
+            # its copy and the directory info is stale; drop it and serve.
+            line.sharers.discard(core)
+            self._invalidate_sharers(msg, line, upgrade=False)
+        elif line.state == DirState.EM:
+            if line.owner == core:
+                self.stats["regrants"] += 1
+                self._send(MessageType.DATA_E, core, block,
+                           self._data_payload(line),
+                           delay=self.config.llc.data_latency)
+                return
+            self._intervene(msg, line, MessageType.FWD_GETX)
+        else:  # PRV
+            self._prv_join(msg, line, is_write=True)
+
+    def _do_upgrade(self, msg: Message, line: LlcLine) -> None:
+        block, core = msg.block_addr, msg.src
+        if line.state == DirState.S and core in line.sharers:
+            others = line.sharers - {core}
+            if not others:
+                line.state = DirState.EM
+                line.owner = core
+                line.sharers.clear()
+                self._send(MessageType.UPG_ACK, core, block, {})
+                return
+            self._invalidate_sharers(msg, line, upgrade=True)
+            return
+        if line.state == DirState.PRV:
+            self._do_chk(msg, line, is_write=True)
+            return
+        if line.state == DirState.EM and line.owner == core:
+            self.stats["regrants"] += 1
+            self._send(MessageType.UPG_ACK, core, block, {})
+            return
+        # The requestor was invalidated while its upgrade was in flight:
+        # convert to a GetX (gem5 MESI does the same).
+        self.stats["upgrades_converted"] += 1
+        converted = Message(MessageType.GETX, src=msg.src, dst=msg.dst,
+                            block_addr=block, payload=dict(msg.payload))
+        if line.state == DirState.I:
+            self._do_getx(converted, line)
+        elif line.state == DirState.S:
+            self._invalidate_sharers(converted, line, upgrade=False)
+        else:
+            self._intervene(converted, line, MessageType.FWD_GETX)
+
+    def _req_md_for(self, block: int) -> bool:
+        if self.detector is None:
+            return False
+        return self.detector.should_request_md(block)
+
+    def _intervene(self, msg: Message, line: LlcLine,
+                   fwd: MessageType) -> None:
+        block = msg.block_addr
+        req_md = self._req_md_for(block)
+        if self.detector is not None:
+            self.detector.count_invalidations(block, 1)
+        self.stats["interventions_sent"] += 1
+        ctx = BusyCtx(kind=BusyKind.FWD, block=block, request=msg,
+                      owner=line.owner, requestor=msg.src, req_md=req_md)
+        self._busy[block] = ctx
+        self._send(fwd, line.owner, block,
+                   {"requestor": msg.src, "req_md": req_md})
+
+    def _invalidate_sharers(self, msg: Message, line: LlcLine,
+                            upgrade: bool) -> None:
+        block, core = msg.block_addr, msg.src
+        targets = line.sharers - {core}
+        req_md = self._req_md_for(block)
+        if self.detector is not None:
+            self.detector.count_invalidations(block, len(targets))
+        self.stats["invalidations_sent"] += len(targets)
+        ctx = BusyCtx(kind=BusyKind.INV_COLLECT, block=block, request=msg,
+                      waiting=set(targets), requestor=core, req_md=req_md,
+                      upgrade=upgrade)
+        self._busy[block] = ctx
+        for sharer in targets:
+            self._send(MessageType.INV, sharer, block,
+                       {"requestor": core, "req_md": req_md})
+        if not targets:
+            self._finish_inv_collect(ctx)
+
+    def _finish_inv_collect(self, ctx: BusyCtx) -> None:
+        line = self._line(ctx.block)
+        line.state = DirState.EM
+        line.owner = ctx.requestor
+        line.sharers.clear()
+        if ctx.upgrade:
+            self._send(MessageType.UPG_ACK, ctx.requestor, ctx.block,
+                       {"req_md": ctx.req_md})
+        else:
+            self._send(MessageType.DATA_E, ctx.requestor, ctx.block,
+                       self._data_payload(line, req_md=ctx.req_md),
+                       delay=self.config.llc.data_latency)
+        self._release_busy(ctx.block)
+
+    def _finish_fwd(self, ctx: BusyCtx, owner_kept_copy: bool,
+                    dir_serves_data: bool) -> None:
+        line = self._line(ctx.block)
+        was_getx = ctx.request.mtype in (MessageType.GETX,
+                                         MessageType.UPGRADE,
+                                         MessageType.GETXCHK)
+        if was_getx:
+            line.state = DirState.EM
+            line.owner = ctx.requestor
+            line.sharers.clear()
+        else:
+            line.state = DirState.S
+            line.owner = None
+            line.sharers = {ctx.requestor}
+            if owner_kept_copy:
+                line.sharers.add(ctx.owner)
+        if dir_serves_data:
+            mtype = MessageType.DATA_E if was_getx else MessageType.DATA
+            self._send(mtype, ctx.requestor, ctx.block,
+                       self._data_payload(line, req_md=ctx.req_md),
+                       delay=self.config.llc.data_latency)
+        self._release_busy(ctx.block)
+
+    # -- FSLite: privatization ---------------------------------------------------
+
+    def _start_prv_init(self, msg: Message, line: LlcLine) -> None:
+        block = msg.block_addr
+        holders = line.holders
+        self.stats["privatizations"] += 1
+        ctx = BusyCtx(kind=BusyKind.PRV_INIT, block=block, request=msg,
+                      waiting=set(holders), prospective=set(holders),
+                      requestor=msg.src)
+        self._busy[block] = ctx
+        self._allocate_sam(block)
+        if self.detector is not None:
+            self.detector.meta_for(block).expect_md(holders)
+        for core in holders:
+            self._send(MessageType.TR_PRV, core, block, {"req_md": True})
+        if not holders:
+            self._finish_prv_init(ctx)
+
+    def _allocate_sam(self, block: int) -> None:
+        """Ensure a SAM entry exists; terminate a displaced PRV block."""
+        if self.detector is None:
+            return
+        self.stats["sam_accesses"] += 1
+        _, evicted_block, evicted_entry = self.detector.sam.allocate(block)
+        if evicted_block is not None:
+            self._handle_sam_eviction(evicted_block, evicted_entry)
+
+    def _handle_sam_eviction(self, block: int, entry) -> None:
+        llc_entry = self.llc.peek(block)
+        if llc_entry is None or llc_entry.payload.state != DirState.PRV:
+            return
+        if self._is_blocked(block):
+            # A context is already resolving this block; losing detection
+            # metadata for a non-PRV transition is harmless.
+            return
+        self._start_termination(
+            block, TerminationCause.SAM_EVICTION,
+            lw_snapshot=entry.last_writer_map() if entry is not None else None)
+
+    def _finish_prv_init(self, ctx: BusyCtx) -> None:
+        block = ctx.block
+        line = self._line(block)
+        msg = ctx.request
+        sam_entry = self.detector.sam.peek(block)
+        if sam_entry is None:
+            # Displaced while collecting (extremely small SAM): abort.
+            conflict = True
+        else:
+            gmask = self._gmask(msg.payload.get("touched_mask", 0))
+            is_write = msg.mtype in (MessageType.GETX, MessageType.UPGRADE)
+            if sam_entry.ts or ctx.conflict:
+                conflict = True
+            elif is_write:
+                conflict = not sam_entry.check_write(msg.src, gmask)
+            else:
+                conflict = not sam_entry.check_read(msg.src, gmask)
+        if conflict:
+            self.stats["privatization_aborts"] += 1
+            self.detector.record_conflict_abort(block)
+            self._busy.pop(block, None)
+            self._start_termination(block, TerminationCause.INIT_ABORT,
+                                    rerun=msg, prv_set=ctx.prospective)
+            return
+        # Privatize: fresh SAM state seeded with the trigger's bytes.
+        sam_entry.clear()
+        gmask = self._gmask(msg.payload.get("touched_mask", 0))
+        if msg.mtype in (MessageType.GETX, MessageType.UPGRADE):
+            sam_entry.record_write(msg.src, gmask)
+            if msg.payload.get("is_rmw"):
+                sam_entry.record_read(msg.src, gmask)
+        else:
+            sam_entry.record_read(msg.src, gmask)
+        line.state = DirState.PRV
+        line.owner = None
+        line.sharers.clear()
+        line.prv_sharers = set(ctx.prospective) | {msg.src}
+        if msg.mtype == MessageType.UPGRADE:
+            self._send(MessageType.UPG_ACK_PRV, msg.src, block, {})
+        else:
+            self._send(MessageType.DATA_PRV, msg.src, block,
+                       self._data_payload(line),
+                       delay=self.config.llc.data_latency)
+        self._release_busy(block)
+
+    def _prv_join(self, msg: Message, line: LlcLine, is_write: bool) -> None:
+        """Serve a Get/GetX for a privatized block (Section V-A, Fig. 8)."""
+        block, core = msg.block_addr, msg.src
+        sam_entry = self.detector.sam.peek(block)
+        if sam_entry is None:
+            raise ProtocolError("PRV block without a SAM entry")
+        self.stats["sam_accesses"] += 1
+        gmask = self._gmask(msg.payload.get("touched_mask", 0))
+        ok = (sam_entry.check_write(core, gmask) if is_write
+              else sam_entry.check_read(core, gmask))
+        if not ok:
+            self.detector.record_conflict_abort(block)
+            self._start_termination(block, TerminationCause.CONFLICT,
+                                    rerun=msg)
+            return
+        if is_write:
+            sam_entry.record_write(core, gmask)
+            if msg.payload.get("is_rmw"):
+                sam_entry.record_read(core, gmask)
+        else:
+            sam_entry.record_read(core, gmask)
+        line.prv_sharers.add(core)
+        self.stats["prv_joins"] += 1
+        self._send(MessageType.DATA_PRV, core, block,
+                   self._data_payload(line),
+                   delay=self.config.llc.data_latency
+                   + self.config.protocol.conflict_check_latency)
+
+    def _do_chk(self, msg: Message, line: LlcLine, is_write: bool) -> None:
+        """First-touch conflict check on a privatized block (Fig. 8)."""
+        block, core = msg.block_addr, msg.src
+        if core not in line.prv_sharers:
+            self._prv_join(msg, line, is_write)
+            return
+        sam_entry = self.detector.sam.peek(block)
+        if sam_entry is None:
+            raise ProtocolError("PRV block without a SAM entry")
+        self.stats["sam_accesses"] += 1
+        gmask = self._gmask(msg.payload.get("touched_mask", 0))
+        ok = (sam_entry.check_write(core, gmask) if is_write
+              else sam_entry.check_read(core, gmask))
+        if ok:
+            self.stats["chk_pass"] += 1
+            if is_write:
+                sam_entry.record_write(core, gmask)
+                if msg.payload.get("is_rmw"):
+                    sam_entry.record_read(core, gmask)
+            else:
+                sam_entry.record_read(core, gmask)
+            if msg.mtype == MessageType.UPGRADE:
+                self._send(MessageType.UPG_ACK_PRV, core, block, {},
+                           delay=self.config.protocol.conflict_check_latency)
+            else:
+                self._send(MessageType.ACK_PRV, core, block, {},
+                           delay=self.config.protocol.conflict_check_latency)
+        else:
+            self.stats["chk_fail"] += 1
+            self.detector.record_conflict_abort(block)
+            self._start_termination(block, TerminationCause.CONFLICT,
+                                    rerun=msg)
+
+    # -- FSLite: termination -------------------------------------------------------
+
+    def _start_termination(
+        self,
+        block: int,
+        cause: TerminationCause,
+        rerun: Optional[Message] = None,
+        prv_set: Optional[Set[int]] = None,
+        lw_snapshot: Optional[List[Optional[int]]] = None,
+        evict_data: Optional[bytearray] = None,
+        then: Optional[Callable[[], None]] = None,
+    ) -> None:
+        line_entry = self.llc.peek(block)
+        line = line_entry.payload if line_entry is not None else None
+        sharers = set(prv_set) if prv_set is not None else (
+            set(line.prv_sharers) if line is not None else set())
+        if lw_snapshot is None:
+            sam_entry = self.detector.sam.peek(block)
+            lw_snapshot = (sam_entry.last_writer_map() if sam_entry is not None
+                           else [None] * (self.block_size // self.granularity))
+        self.stats[f"term_{cause.value}"] += 1
+        ctx = BusyCtx(kind=BusyKind.PRV_TERM, block=block, request=rerun,
+                      waiting=set(sharers), lw_snapshot=lw_snapshot,
+                      cause=cause, evict_data=evict_data, then=then)
+        self._busy[block] = ctx
+        for core in sharers:
+            self._send(MessageType.INV_PRV, core, block, {})
+        if not sharers:
+            self._finish_termination(ctx)
+
+    def _term_merge(self, ctx: BusyCtx, core: int, data: bytes) -> None:
+        target = ctx.evict_data
+        if target is None:
+            target = self._line(ctx.block).data
+        merge_block(target, data, core, ctx.lw_snapshot, self.granularity)
+
+    def _finish_termination(self, ctx: BusyCtx) -> None:
+        block = ctx.block
+        if self.detector is not None:
+            self.detector.sam.invalidate(block)
+            meta = self.detector._meta.get(block)
+            if meta is not None:
+                meta.reset_fc_ic()
+        if ctx.evict_data is not None:
+            # LLC-eviction termination: the merged block goes to memory.
+            self.memory.write_block(block, bytes(ctx.evict_data))
+            self.stats["memory_writebacks"] += 1
+        else:
+            line = self._line(block)
+            line.state = DirState.I
+            line.owner = None
+            line.sharers.clear()
+            line.prv_sharers.clear()
+            line.dirty = True
+        then = ctx.then
+        self._release_busy(block, rerun=ctx.request)
+        if then is not None:
+            then()
+
+    def external_access(self, block: int) -> None:
+        """Injection hook: an access forwarded from another socket must
+        terminate the privatized episode first (Section V-C)."""
+        entry = self.llc.peek(block)
+        if entry is None or entry.payload.state != DirState.PRV:
+            return
+        if self._is_blocked(block):
+            return
+        self._start_termination(block, TerminationCause.EXTERNAL_SOCKET)
+
+    # ------------------------------------------------------- LLC fills
+
+    def _start_fetch(self, msg: Message) -> None:
+        block = msg.block_addr
+        ctx = BusyCtx(kind=BusyKind.FETCH, block=block, request=msg)
+        self._busy[block] = ctx
+        self.stats["memory_fetches"] += 1
+        self.queue.schedule(self.config.memory_latency,
+                            lambda: self._fetch_done(ctx))
+
+    def _fetch_done(self, ctx: BusyCtx) -> None:
+        block = ctx.block
+        data = self.memory.read_block(block)
+
+        def attempt() -> None:
+            victim = self.llc.choose_victim(
+                block, protected=self._protected_ways(block))
+            if not victim.valid:
+                self._install_llc(block, data)
+                self._release_busy(block, rerun=ctx.request)
+            else:
+                # Resolve one victim (evict/recall/terminate), then retry.
+                self._make_room(block, attempt)
+
+        attempt()
+
+    def _make_room(self, block: int, then: Callable[[], None]) -> None:
+        """Resolve one victim way for ``block``, then call ``then``."""
+        victim = self.llc.choose_victim(block,
+                                        protected=self._protected_ways(block))
+        if not victim.valid:
+            then()
+            return
+        victim_block = self.llc.addr_of(victim)
+        line = victim.payload
+        if line.state == DirState.I:
+            self._evict_llc_block(victim_block, line)
+            then()
+        elif line.state == DirState.PRV:
+            evict_data = bytearray(line.data)
+            sam_entry = (self.detector.sam.peek(victim_block)
+                         if self.detector else None)
+            snapshot = (sam_entry.last_writer_map() if sam_entry is not None
+                        else None)
+            self.llc.invalidate(victim_block)
+            if self.detector is not None:
+                self.detector.drop_meta(victim_block)
+            self._start_termination(
+                victim_block, TerminationCause.LLC_EVICTION,
+                prv_set=line.prv_sharers, lw_snapshot=snapshot,
+                evict_data=evict_data, then=then)
+        else:
+            self._recall(victim_block, line, then)
+
+    def _protected_ways(self, block: int) -> List[int]:
+        set_index = self.llc.set_index_of(block)
+        protected = []
+        for busy_block in self._busy:
+            if self.llc.set_index_of(busy_block) != set_index:
+                continue
+            entry = self.llc.peek(busy_block)
+            if entry is not None:
+                protected.append(entry.way)
+        return protected
+
+    def _evict_llc_block(self, block: int, line: LlcLine) -> None:
+        self.llc.invalidate(block)
+        if self.detector is not None:
+            self.detector.drop_meta(block)
+        if line.dirty:
+            self.memory.write_block(block, bytes(line.data))
+            self.stats["memory_writebacks"] += 1
+
+    def _recall(self, block: int, line: LlcLine,
+                then: Callable[[], None]) -> None:
+        """Invalidate private copies so an LLC victim can be evicted."""
+        self.stats["recalls"] += 1
+        holders = line.holders
+        ctx = BusyCtx(kind=BusyKind.RECALL, block=block, waiting=set(holders),
+                      then=then)
+        self._busy[block] = ctx
+        if line.state == DirState.EM:
+            self._send(MessageType.RECALL, line.owner, block, {})
+        else:
+            for sharer in holders:
+                self._send(MessageType.INV, sharer, block,
+                           {"requestor": None, "recall": True})
+        if not holders:
+            self._finish_recall(ctx)
+
+    def _finish_recall(self, ctx: BusyCtx) -> None:
+        line = self._line(ctx.block)
+        line.state = DirState.I
+        line.owner = None
+        line.sharers.clear()
+        self._evict_llc_block(ctx.block, line)
+        then = ctx.then
+        self._release_busy(ctx.block)
+        if then is not None:
+            then()
+
+    def _install_llc(self, block: int, data: bytearray) -> None:
+        self.llc.fill(block, LlcLine(data=data))
+        if self.detector is not None:
+            # FC/IC initialize to zero when a block fills into the LLC.
+            self.detector.drop_meta(block)
+
+    # ------------------------------------------------------ response path
+
+    def _on_putm(self, msg: Message) -> None:
+        block, core = msg.block_addr, msg.src
+        data = msg.payload["data"]
+        ctx = self._busy.get(block)
+        if ctx is not None:
+            if ctx.kind == BusyKind.FWD and core == ctx.owner:
+                line = self._line(block)
+                line.data = bytearray(data)
+                line.dirty = True
+                self._send(MessageType.WB_ACK, core, block, {})
+                return  # stay busy; the wb-buffer response completes the FWD
+            if ctx.kind == BusyKind.PRV_TERM:
+                if core in ctx.waiting:
+                    self._term_merge(ctx, core, data)
+                    ctx.waiting.discard(core)
+                self._send(MessageType.WB_ACK, core, block, {})
+                if not ctx.waiting:
+                    self._finish_termination(ctx)
+                return
+            if ctx.kind == BusyKind.PRV_INIT:
+                line = self._line(block)
+                line.data = bytearray(data)
+                line.dirty = True
+                ctx.prospective.discard(core)
+                self._send(MessageType.WB_ACK, core, block, {})
+                return
+            if ctx.kind == BusyKind.RECALL:
+                line = self._line(block)
+                line.data = bytearray(data)
+                line.dirty = True
+                ctx.waiting.discard(core)
+                self._send(MessageType.WB_ACK, core, block, {})
+                if not ctx.waiting:
+                    self._finish_recall(ctx)
+                return
+            raise ProtocolError(f"PUTM during {ctx.kind} for {block:#x}")
+        entry = self.llc.peek(block)
+        if entry is None:
+            # Terminating-eviction already wrote to memory; stale PUTM.
+            self.stats["stale_putm"] += 1
+            self._send(MessageType.WB_ACK, core, block, {})
+            return
+        line = entry.payload
+        if line.state == DirState.EM and line.owner == core:
+            line.data = bytearray(data)
+            line.dirty = True
+            line.state = DirState.I
+            line.owner = None
+        elif line.state == DirState.PRV and core in line.prv_sharers:
+            sam_entry = (self.detector.sam.peek(block)
+                         if self.detector else None)
+            if sam_entry is not None:
+                merge_block(line.data, data, core,
+                            sam_entry.last_writer_map(), self.granularity)
+                sam_entry.remove_core(core)
+            line.prv_sharers.discard(core)
+            line.dirty = True
+        else:
+            self.stats["stale_putm"] += 1
+        self._send(MessageType.WB_ACK, core, block, {})
+
+    def _on_inv_ack(self, msg: Message) -> None:
+        ctx = self._busy.get(msg.block_addr)
+        if ctx is None:
+            return  # stale ack after a recall raced with something else
+        if ctx.kind == BusyKind.INV_COLLECT:
+            ctx.waiting.discard(msg.src)
+            if not ctx.waiting:
+                self._finish_inv_collect(ctx)
+        elif ctx.kind == BusyKind.RECALL:
+            ctx.waiting.discard(msg.src)
+            if not ctx.waiting:
+                self._finish_recall(ctx)
+
+    def _on_data_wb(self, msg: Message) -> None:
+        block, data = msg.block_addr, msg.payload["data"]
+        ctx = self._busy.get(block)
+        if ctx is None:
+            # Flush attached to TR_PRV that arrived after init finished, or
+            # a stale downgrade; accept the data.
+            entry = self.llc.peek(block)
+            if entry is not None:
+                entry.payload.data = bytearray(data)
+                entry.payload.dirty = True
+            return
+        if ctx.kind == BusyKind.FWD:
+            line = self._line(block)
+            line.data = bytearray(data)
+            line.dirty = True
+            owner_kept = not msg.payload.get("from_wb") and not msg.payload.get("xfer")
+            self._finish_fwd(ctx, owner_kept_copy=owner_kept,
+                             dir_serves_data=False)
+        elif ctx.kind == BusyKind.PRV_INIT:
+            line = self._line(block)
+            line.data = bytearray(data)
+            line.dirty = True
+        elif ctx.kind == BusyKind.RECALL:
+            line = self._line(block)
+            line.data = bytearray(data)
+            line.dirty = True
+            ctx.waiting.discard(msg.src)
+            if not ctx.waiting:
+                self._finish_recall(ctx)
+        elif ctx.kind == BusyKind.PRV_TERM:
+            self._term_merge(ctx, msg.src, data)
+            ctx.waiting.discard(msg.src)
+            if not ctx.waiting:
+                self._finish_termination(ctx)
+        else:
+            raise ProtocolError(f"DATA_WB during {ctx.kind}")
+
+    def _on_xfer_ack(self, msg: Message) -> None:
+        ctx = self._busy.get(msg.block_addr)
+        if ctx is None or ctx.kind != BusyKind.FWD:
+            raise ProtocolError(f"stray XFER_ACK for {msg.block_addr:#x}")
+        self._finish_fwd(ctx, owner_kept_copy=not msg.payload.get("from_wb"),
+                         dir_serves_data=False)
+
+    def _on_ack_no_data(self, msg: Message) -> None:
+        ctx = self._busy.get(msg.block_addr)
+        if ctx is None:
+            return
+        if ctx.kind == BusyKind.FWD:
+            # The owner silently dropped its clean copy: serve from the LLC.
+            self._finish_fwd(ctx, owner_kept_copy=False, dir_serves_data=True)
+        elif ctx.kind == BusyKind.RECALL:
+            ctx.waiting.discard(msg.src)
+            if not ctx.waiting:
+                self._finish_recall(ctx)
+
+    # -- metadata ------------------------------------------------------------------
+
+    def _on_rep_md(self, msg: Message) -> None:
+        if self.detector is None:
+            return
+        block, core = msg.block_addr, msg.src
+        meta = self.detector.meta_for(block)
+        meta.md_arrived(core)
+        ctx = self._busy.get(block)
+        if ctx is not None and ctx.kind == BusyKind.PRV_TERM:
+            return  # episode ending; metadata is obsolete
+        entry = self.llc.peek(block)
+        if entry is not None and entry.payload.state == DirState.PRV:
+            return  # SAM already tracks PRV accesses via CHKs
+        self.stats["sam_accesses"] += 1
+        conflict, evicted_block, evicted_entry = self.detector.ingest_md(
+            block, core, msg.payload["read_bits"], msg.payload["write_bits"])
+        if evicted_block is not None:
+            self._handle_sam_eviction(evicted_block, evicted_entry)
+        if ctx is not None and ctx.kind == BusyKind.PRV_INIT:
+            if conflict:
+                ctx.conflict = True
+            if core in ctx.waiting:
+                ctx.waiting.discard(core)
+                if not ctx.waiting:
+                    self._finish_prv_init(ctx)
+
+    def _on_phantom(self, msg: Message) -> None:
+        if self.detector is None:
+            return
+        block, core = msg.block_addr, msg.src
+        self.detector.meta_for(block).md_arrived(core)
+        ctx = self._busy.get(block)
+        if ctx is not None and ctx.kind == BusyKind.PRV_INIT:
+            ctx.prospective.discard(core)
+            if core in ctx.waiting:
+                ctx.waiting.discard(core)
+                if not ctx.waiting:
+                    self._finish_prv_init(ctx)
+
+    # -- termination responses ---------------------------------------------------------
+
+    def _on_prv_wb(self, msg: Message) -> None:
+        ctx = self._busy.get(msg.block_addr)
+        if ctx is None or ctx.kind != BusyKind.PRV_TERM:
+            # A termination that no longer exists (the core's response
+            # crossed the finish): merge against live SAM if still PRV.
+            entry = self.llc.peek(msg.block_addr)
+            if entry is not None and entry.payload.state == DirState.PRV:
+                sam_entry = self.detector.sam.peek(msg.block_addr)
+                if sam_entry is not None:
+                    merge_block(entry.payload.data, msg.payload["data"],
+                                msg.src, sam_entry.last_writer_map(),
+                                self.granularity)
+                    sam_entry.remove_core(msg.src)
+                entry.payload.prv_sharers.discard(msg.src)
+            return
+        if msg.src in ctx.waiting:
+            self._term_merge(ctx, msg.src, msg.payload["data"])
+            ctx.waiting.discard(msg.src)
+            if not ctx.waiting:
+                self._finish_termination(ctx)
+
+    def _on_ctrl_wb(self, msg: Message) -> None:
+        ctx = self._busy.get(msg.block_addr)
+        if ctx is None or ctx.kind != BusyKind.PRV_TERM:
+            return
+        ctx.waiting.discard(msg.src)
+        if not ctx.waiting:
+            self._finish_termination(ctx)
+
+    # ----------------------------------------------------------------- misc
+
+    def drain_complete(self) -> bool:
+        return not self._busy and not self._pending
+
+    @property
+    def reports(self):
+        return self.detector.reports if self.detector is not None else []

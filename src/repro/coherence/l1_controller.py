@@ -1,0 +1,684 @@
+"""Private (L1D) cache controller.
+
+Implements the core-facing side of the baseline MESI protocol and the
+FSDetect/FSLite extensions:
+
+* loads/stores/RMWs from the core, hit and miss paths, silent clean
+  evictions, dirty writebacks through a write buffer;
+* PAM-table maintenance on every access, REP_MD / phantom metadata
+  responses (Section IV);
+* the PRV state: first-touch GetCHK/GetXCHK conflict checks, TR_PRV
+  handling, Prv_WB / Ctrl_WB termination responses, and the request/
+  invalidation races of Section V-E.
+
+In-flight transactions live in MSHRs rather than transient line states; a
+line in the array is always in a stable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.addr import block_base, block_offset, bytes_touched
+from repro.common.config import SystemConfig
+from repro.common.errors import ProtocolError
+from repro.common.events import EventQueue
+from repro.coherence.states import L1State, ProtocolMode
+from repro.core.pam import PamTable
+from repro.cpu.ops import Op, OpKind
+from repro.interconnect.message import Message, MessageType
+from repro.interconnect.network import Network
+from repro.memsys.cache_array import CacheArray
+from repro.memsys.write_buffer import WriteBuffer
+
+CompletionCallback = Callable[[int], None]
+
+
+@dataclass
+class L1Line:
+    state: L1State
+    data: bytearray
+    dirty: bool = False
+
+
+@dataclass
+class Mshr:
+    """One outstanding transaction for one block."""
+
+    block_addr: int
+    sent: MessageType
+    ops: List[Tuple[Op, CompletionCallback]] = field(default_factory=list)
+    #: Inv_PRV raced ahead of the data response (Fig. 11): drop the response
+    #: and reissue the request when it arrives.
+    aborted: bool = False
+    #: The line this CHK referred to was invalidated by a termination; the
+    #: directory will answer with a data response instead of Ack_PRV.
+    chk_line_lost: bool = False
+    #: A plain INV raced a GET fill: consume the data once, then drop it.
+    inv_after_fill: bool = False
+
+
+class L1Controller:
+    """One core's private-cache controller."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: SystemConfig,
+        mode: ProtocolMode,
+        queue: EventQueue,
+        network: Network,
+        home_of: Callable[[int], int],
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.mode = mode
+        self.queue = queue
+        self.network = network
+        self.home_of = home_of
+        self.block_size = config.block_size
+        self.cache: CacheArray[L1Line] = CacheArray(
+            num_sets=config.l1.num_sets,
+            ways=config.l1.associativity,
+            block_size=self.block_size,
+            policy="lru",
+        )
+        self.pam = PamTable(
+            capacity=config.l1.num_blocks,
+            granularity=config.protocol.tracking_granularity,
+            block_size=self.block_size,
+        )
+        self.write_buffer = WriteBuffer(capacity=64)
+        self._mshrs: Dict[int, Mshr] = {}
+        self.stats: Dict[str, int] = {
+            "loads": 0, "stores": 0, "rmws": 0,
+            "hits": 0, "misses": 0, "chk_misses": 0,
+            "get_sent": 0, "getx_sent": 0, "upgrade_sent": 0,
+            "chk_sent": 0, "reissues": 0, "writebacks": 0,
+            "silent_evictions": 0, "rep_md_sent": 0, "phantom_sent": 0,
+            "prv_fills": 0, "invalidations_received": 0,
+            "interventions_received": 0, "l1_data_accesses": 0,
+            "pam_accesses": 0,
+        }
+        network.register(core_id, self.handle_message)
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._mshrs)
+
+    def access(self, op: Op, on_complete: CompletionCallback) -> None:
+        """Issue one memory operation; ``on_complete(result)`` fires when
+        the access is globally performed."""
+        if not op.is_memory:
+            raise ProtocolError(f"non-memory op reached the L1: {op.kind}")
+        if op.kind == OpKind.LOAD:
+            self.stats["loads"] += 1
+        elif op.kind == OpKind.STORE:
+            self.stats["stores"] += 1
+        else:
+            self.stats["rmws"] += 1
+        block = block_base(op.addr, self.block_size)
+        mshr = self._mshrs.get(block)
+        if mshr is not None:
+            mshr.ops.append((op, on_complete))
+            return
+        wb_entry = self.write_buffer.get(block)
+        if wb_entry is not None:
+            # The block's writeback is still in flight; a request now could
+            # overtake the PUTM and fetch stale data. Park the access and
+            # replay it once the WB_ACK retires the buffer entry.
+            wb_entry.meta.setdefault("pending_ops", []).append(
+                (op, on_complete))
+            return
+        entry = self.cache.lookup(block)
+        line = entry.payload if entry is not None else None
+        if line is not None and self._can_hit(line, op, block):
+            self._complete_hit(block, line, op, on_complete)
+            return
+        self._start_miss(block, line, op, on_complete)
+
+    # ------------------------------------------------------------- hit path
+
+    def _can_hit(self, line: L1Line, op: Op, block: int) -> bool:
+        state = line.state
+        if state == L1State.PRV:
+            gmask = self._gmask(op)
+            pentry = self.pam.get(block)
+            if pentry is None:
+                raise ProtocolError("PRV line without a PAM entry")
+            self.stats["pam_accesses"] += 1
+            if op.is_write:
+                return pentry.covered_for_write(gmask)
+            return pentry.covered_for_read(gmask)
+        if op.is_write:
+            return state in (L1State.M, L1State.E)
+        return state in (L1State.S, L1State.E, L1State.M)
+
+    def _complete_hit(self, block: int, line: L1Line, op: Op,
+                      cb: CompletionCallback) -> None:
+        """The op performs (becomes globally visible) immediately; the core
+        observes completion after the data-array latency."""
+        self.stats["hits"] += 1
+        result = self._perform(block, line, op)
+        self.queue.schedule(self.config.l1.data_latency, lambda: cb(result))
+
+    def _perform(self, block: int, line: L1Line, op: Op) -> int:
+        """Apply the op to the line's bytes, update PAM, return the result."""
+        if op.is_write and line.state == L1State.E:
+            line.state = L1State.M
+        offset = block_offset(op.addr, self.block_size)
+        self.stats["l1_data_accesses"] += 1
+        result = 0
+        if op.kind == OpKind.LOAD:
+            result = int.from_bytes(line.data[offset:offset + op.size], "little")
+        elif op.kind == OpKind.STORE:
+            line.data[offset:offset + op.size] = op.value.to_bytes(
+                op.size, "little")
+            line.dirty = True
+        else:  # RMW
+            old = int.from_bytes(line.data[offset:offset + op.size], "little")
+            new = op.modify(old) & ((1 << (8 * op.size)) - 1)
+            line.data[offset:offset + op.size] = new.to_bytes(op.size, "little")
+            line.dirty = True
+            result = old
+        if self.mode.detects:
+            _, byte_mask = bytes_touched(op.addr, op.size, self.block_size)
+            self.stats["pam_accesses"] += 1
+            if op.kind == OpKind.RMW:
+                self.pam.record_access(block, byte_mask, is_write=True)
+                self.pam.record_access(block, byte_mask, is_write=False)
+            else:
+                self.pam.record_access(block, byte_mask, op.is_write)
+        return result
+
+    def _gmask(self, op: Op) -> int:
+        _, byte_mask = bytes_touched(op.addr, op.size, self.block_size)
+        return self.pam.to_granule_mask(byte_mask)
+
+    # ------------------------------------------------------------ miss path
+
+    def _start_miss(self, block: int, line: Optional[L1Line], op: Op,
+                    cb: CompletionCallback) -> None:
+        if line is not None and line.state == L1State.PRV:
+            mtype = (MessageType.GETXCHK if op.is_write
+                     else MessageType.GETCHK)
+            self.stats["chk_misses"] += 1
+            self.stats["chk_sent"] += 1
+        elif line is not None and line.state == L1State.S and op.is_write:
+            mtype = MessageType.UPGRADE
+            self.stats["misses"] += 1
+            self.stats["upgrade_sent"] += 1
+        elif op.is_write:
+            mtype = MessageType.GETX
+            self.stats["misses"] += 1
+            self.stats["getx_sent"] += 1
+        else:
+            mtype = MessageType.GET
+            self.stats["misses"] += 1
+            self.stats["get_sent"] += 1
+        mshr = Mshr(block_addr=block, sent=mtype, ops=[(op, cb)])
+        self._mshrs[block] = mshr
+        self._send_request(mshr, op)
+
+    def _send_request(self, mshr: Mshr, op: Op) -> None:
+        _, byte_mask = bytes_touched(op.addr, op.size, self.block_size)
+        self.network.send(Message(
+            mshr.sent, src=self.core_id, dst=self.home_of(mshr.block_addr),
+            block_addr=mshr.block_addr,
+            payload={"touched_mask": byte_mask, "is_rmw": op.kind == OpKind.RMW},
+        ), extra_delay=self.config.l1.tag_latency)
+
+    def _reissue(self, mshr: Mshr) -> None:
+        """Reissue an aborted request (Fig. 11 race) as a plain GET/GETX."""
+        self.stats["reissues"] += 1
+        op = mshr.ops[0][0]
+        if mshr.sent in (MessageType.GETCHK, MessageType.GETXCHK,
+                         MessageType.UPGRADE):
+            mshr.sent = (MessageType.GETX if op.is_write else MessageType.GET)
+        mshr.aborted = False
+        mshr.chk_line_lost = False
+        self._send_request(mshr, op)
+
+    # -------------------------------------------------------------- fills
+
+    def _fill(self, block: int, data: bytearray, state: L1State) -> L1Line:
+        """Allocate the line (evicting a victim if needed)."""
+        protected = self._protected_ways(block)
+        evicted = self.cache.fill(
+            block, L1Line(state=state, data=data), protected=protected)
+        if evicted is not None:
+            self._evict(self.cache.addr_of(evicted), evicted.payload)
+        if self.mode.detects:
+            if block in self.pam:
+                raise ProtocolError("stale PAM entry at fill")
+            self.pam.allocate(block)
+        if state == L1State.PRV:
+            self.stats["prv_fills"] += 1
+        entry = self.cache.peek(block)
+        return entry.payload
+
+    def _protected_ways(self, block: int) -> List[int]:
+        """Ways in this set that host blocks with in-flight transactions."""
+        set_index = self.cache.set_index_of(block)
+        protected = []
+        for mshr_block in self._mshrs:
+            if self.cache.set_index_of(mshr_block) != set_index:
+                continue
+            entry = self.cache.peek(mshr_block)
+            if entry is not None:
+                protected.append(entry.way)
+        return protected
+
+    def _evict(self, block: int, line: L1Line) -> None:
+        """Handle a capacity eviction of ``line`` (stable state)."""
+        if line.state in (L1State.M, L1State.PRV) or line.dirty:
+            self.stats["writebacks"] += 1
+            self.write_buffer.insert(block, bytearray(line.data),
+                                     prv=line.state == L1State.PRV)
+            self.network.send(Message(
+                MessageType.PUTM, src=self.core_id, dst=self.home_of(block),
+                block_addr=block,
+                payload={"data": bytes(line.data),
+                         "prv": line.state == L1State.PRV}))
+            # PRV metadata lives in the SAM already; M/E/S metadata may need
+            # to be reported on eviction (SEND_MD, Section IV).
+            if line.state != L1State.PRV:
+                self._send_md_on_eviction(block)
+            else:
+                self.pam.invalidate(block)
+        else:
+            self.stats["silent_evictions"] += 1
+            self._send_md_on_eviction(block)
+
+    def _send_md_on_eviction(self, block: int) -> None:
+        if not self.mode.detects:
+            return
+        pentry = self.pam.invalidate(block)
+        if pentry is not None and pentry.send_md and not pentry.empty:
+            self.stats["rep_md_sent"] += 1
+            self.pam.md_sends += 1
+            self.network.send(Message(
+                MessageType.REP_MD, src=self.core_id,
+                dst=self.home_of(block), block_addr=block,
+                payload={"read_bits": pentry.read_bits,
+                         "write_bits": pentry.write_bits,
+                         "solicited": False}))
+
+    # ----------------------------------------------------- message handling
+
+    def handle_message(self, msg: Message) -> None:
+        handler = {
+            MessageType.DATA: self._on_data,
+            MessageType.DATA_E: self._on_data,
+            MessageType.DATA_PRV: self._on_data,
+            MessageType.DATA_TO_REQ: self._on_data,
+            MessageType.UPG_ACK: self._on_upg_ack,
+            MessageType.UPG_ACK_PRV: self._on_upg_ack,
+            MessageType.ACK_PRV: self._on_ack_prv,
+            MessageType.INV: self._on_inv,
+            MessageType.FWD_GET: self._on_fwd_get,
+            MessageType.FWD_GETX: self._on_fwd_getx,
+            MessageType.TR_PRV: self._on_tr_prv,
+            MessageType.INV_PRV: self._on_inv_prv,
+            MessageType.RECALL: self._on_recall,
+            MessageType.WB_ACK: self._on_wb_ack,
+        }.get(msg.mtype)
+        if handler is None:
+            raise ProtocolError(f"L1 {self.core_id} cannot handle {msg}")
+        handler(msg)
+
+    # -- data responses -------------------------------------------------------
+
+    def _fill_state_for(self, msg: Message, mshr: Mshr) -> L1State:
+        wants_write = mshr.sent in (MessageType.GETX, MessageType.GETXCHK,
+                                    MessageType.UPGRADE)
+        if msg.mtype == MessageType.DATA_PRV:
+            return L1State.PRV
+        if msg.mtype == MessageType.DATA:
+            return L1State.M if wants_write else L1State.S
+        if msg.mtype == MessageType.DATA_E:
+            return L1State.M if wants_write else L1State.E
+        # DATA_TO_REQ: forwarded by the old owner.
+        return L1State.M if wants_write else L1State.S
+
+    def _on_data(self, msg: Message) -> None:
+        mshr = self._mshrs.get(msg.block_addr)
+        if mshr is None:
+            raise ProtocolError(
+                f"stray data response at core {self.core_id}: {msg}")
+        if mshr.aborted:
+            # The line was invalidated while this response was in flight
+            # (Fig. 11/12 races): drop the response and reissue. The
+            # directory regrants idempotently.
+            self._reissue(mshr)
+            return
+        data = bytearray(msg.payload["data"])
+        state = self._fill_state_for(msg, mshr)
+        existing = self.cache.peek(msg.block_addr)
+        if existing is not None:
+            # A CHK answered with data after termination: the line was
+            # invalidated by Inv_PRV before this response, so a live line
+            # here is a protocol bug.
+            raise ProtocolError("data response for a resident line")
+        line = self._fill(msg.block_addr, data, state)
+        if msg.payload.get("req_md") and self.mode.detects:
+            pentry = self.pam.get(msg.block_addr)
+            if pentry is not None:
+                pentry.send_md = True
+        self._complete_mshr(msg.block_addr, mshr, line)
+
+    def _complete_mshr(self, block: int, mshr: Mshr, line: L1Line) -> None:
+        """Grant arrived: the first op performs immediately (it is globally
+        ordered at the grant), queued ops replay through the normal path."""
+        del self._mshrs[block]
+        (first_op, first_cb) = mshr.ops[0]
+        rest = mshr.ops[1:]
+        latency = self.config.l1.data_latency
+        result = self._perform(block, line, first_op)
+        if mshr.inv_after_fill:
+            # Consume-then-drop (IS_I): the invalidation was already
+            # acknowledged; the fill satisfies exactly one access.
+            self._invalidate_line(block, send_md=False)
+        self.queue.schedule(latency, lambda: first_cb(result))
+        # Replay queued ops *now* (hits apply synchronously) so that an op
+        # issued later by a multi-outstanding core can never apply before
+        # an older queued op — program order per core is preserved.
+        for op, cb in rest:
+            self.access(op, cb)
+
+    # -- upgrade / CHK acks -----------------------------------------------------
+
+    def _on_upg_ack(self, msg: Message) -> None:
+        mshr = self._mshrs.get(msg.block_addr)
+        if mshr is None:
+            raise ProtocolError(f"stray upgrade ack: {msg}")
+        entry = self.cache.peek(msg.block_addr)
+        if entry is None or mshr.aborted:
+            # Invalidated while the upgrade was in flight (Fig. 12 race):
+            # reissue as GetX.
+            self._reissue(mshr)
+            return
+        line = entry.payload
+        line.state = (L1State.PRV if msg.mtype == MessageType.UPG_ACK_PRV
+                      else L1State.M)
+        if msg.payload.get("req_md") and self.mode.detects:
+            pentry = self.pam.get(msg.block_addr)
+            if pentry is not None:
+                pentry.send_md = True
+        self._complete_mshr(msg.block_addr, mshr, line)
+
+    def _on_ack_prv(self, msg: Message) -> None:
+        mshr = self._mshrs.get(msg.block_addr)
+        if mshr is None:
+            raise ProtocolError(f"stray Ack_PRV: {msg}")
+        entry = self.cache.peek(msg.block_addr)
+        if entry is None or entry.payload.state != L1State.PRV or mshr.aborted:
+            self._reissue(mshr)
+            return
+        self._complete_mshr(msg.block_addr, mshr, entry.payload)
+
+    # -- invalidations and interventions ------------------------------------------
+
+    def _metadata_response(self, block: int, solicited: bool = True) -> None:
+        """Send REP_MD if we still have the PAM entry, else a phantom."""
+        if not self.mode.detects:
+            return
+        pentry = self.pam.get(block)
+        dst = self.home_of(block)
+        if pentry is not None:
+            self.stats["rep_md_sent"] += 1
+            self.network.send(Message(
+                MessageType.REP_MD, src=self.core_id, dst=dst,
+                block_addr=block,
+                payload={"read_bits": pentry.read_bits,
+                         "write_bits": pentry.write_bits,
+                         "solicited": solicited}))
+        else:
+            self.stats["phantom_sent"] += 1
+            self.network.send(Message(
+                MessageType.PHANTOM_MD, src=self.core_id, dst=dst,
+                block_addr=block, payload={"solicited": solicited}))
+
+    def _invalidate_line(self, block: int, send_md: bool,
+                         solicited: bool = True) -> None:
+        if send_md:
+            self._metadata_response(block, solicited=solicited)
+        self.cache.invalidate(block)
+        self.pam.invalidate(block)
+
+    def _on_inv(self, msg: Message) -> None:
+        self.stats["invalidations_received"] += 1
+        req_md = bool(msg.payload.get("req_md"))
+        mshr = self._mshrs.get(msg.block_addr)
+        entry = self.cache.peek(msg.block_addr)
+        if mshr is not None and mshr.sent == MessageType.UPGRADE:
+            # Our upgrade lost the race; the directory converts it to a
+            # GetX and answers with data, so just drop the S copy.
+            if entry is not None:
+                self._invalidate_line(msg.block_addr, send_md=req_md)
+        elif mshr is not None and mshr.sent == MessageType.GET and entry is None:
+            # INV overtook the data response of a GET: consume then drop.
+            if req_md:
+                self._metadata_response(msg.block_addr)
+            mshr.inv_after_fill = True
+        elif mshr is not None and entry is None:
+            # Stale sharer info (silent eviction) while a GETX/CHK is in
+            # flight: acknowledge and carry on.
+            if req_md:
+                self._metadata_response(msg.block_addr)
+        elif entry is not None:
+            self._invalidate_line(msg.block_addr, send_md=req_md)
+        else:
+            # Silently evicted earlier; stale sharer info at the directory.
+            if req_md:
+                self._metadata_response(msg.block_addr)
+        self.network.send(Message(
+            MessageType.INV_ACK, src=self.core_id, dst=msg.src,
+            block_addr=msg.block_addr,
+            payload={"requestor": msg.payload.get("requestor")}),
+            extra_delay=self.config.l1.tag_latency)
+
+    def _on_fwd_get(self, msg: Message) -> None:
+        self.stats["interventions_received"] += 1
+        req_md = bool(msg.payload.get("req_md"))
+        requestor = msg.payload["requestor"]
+        entry = self.cache.peek(msg.block_addr)
+        delay = self.config.l1.data_latency
+        if entry is not None and entry.payload.state in (L1State.M, L1State.E):
+            line = entry.payload
+            self.network.send(Message(
+                MessageType.DATA_TO_REQ, src=self.core_id, dst=requestor,
+                block_addr=msg.block_addr,
+                payload={"data": bytes(line.data), "req_md": req_md}),
+                extra_delay=delay)
+            if line.state == L1State.M or line.dirty:
+                self.network.send(Message(
+                    MessageType.DATA_WB, src=self.core_id, dst=msg.src,
+                    block_addr=msg.block_addr,
+                    payload={"data": bytes(line.data), "requestor": requestor}),
+                    extra_delay=delay)
+            else:
+                self.network.send(Message(
+                    MessageType.XFER_ACK, src=self.core_id, dst=msg.src,
+                    block_addr=msg.block_addr,
+                    payload={"requestor": requestor}), extra_delay=delay)
+            line.state = L1State.S
+            line.dirty = False
+            if req_md and self.mode.detects:
+                self._metadata_response(msg.block_addr)
+                pentry = self.pam.get(msg.block_addr)
+                if pentry is not None:
+                    pentry.send_md = True
+        elif msg.block_addr in self.write_buffer:
+            wb = self.write_buffer.get(msg.block_addr)
+            self.network.send(Message(
+                MessageType.DATA_TO_REQ, src=self.core_id, dst=requestor,
+                block_addr=msg.block_addr,
+                payload={"data": bytes(wb.data), "req_md": req_md}),
+                extra_delay=delay)
+            self.network.send(Message(
+                MessageType.DATA_WB, src=self.core_id, dst=msg.src,
+                block_addr=msg.block_addr,
+                payload={"data": bytes(wb.data), "requestor": requestor,
+                         "from_wb": True}), extra_delay=delay)
+            if req_md:
+                self._metadata_response(msg.block_addr)
+        else:
+            # Clean silent eviction (the ordered forward network guarantees
+            # no grant is in flight behind this): the LLC copy is valid.
+            self.network.send(Message(
+                MessageType.ACK_NO_DATA, src=self.core_id, dst=msg.src,
+                block_addr=msg.block_addr,
+                payload={"requestor": requestor}), extra_delay=delay)
+            if req_md:
+                self._metadata_response(msg.block_addr)
+
+    def _on_fwd_getx(self, msg: Message) -> None:
+        self.stats["interventions_received"] += 1
+        req_md = bool(msg.payload.get("req_md"))
+        requestor = msg.payload["requestor"]
+        entry = self.cache.peek(msg.block_addr)
+        delay = self.config.l1.data_latency
+        if entry is not None and entry.payload.state in (L1State.M, L1State.E):
+            line = entry.payload
+            self.network.send(Message(
+                MessageType.DATA_TO_REQ, src=self.core_id, dst=requestor,
+                block_addr=msg.block_addr,
+                payload={"data": bytes(line.data), "req_md": req_md}),
+                extra_delay=delay)
+            # The transfer ack carries the data so the LLC copy is always
+            # fresh; this is what makes drop-and-reissue races safe.
+            self.network.send(Message(
+                MessageType.DATA_WB, src=self.core_id, dst=msg.src,
+                block_addr=msg.block_addr,
+                payload={"data": bytes(line.data), "requestor": requestor,
+                         "xfer": True}), extra_delay=delay)
+            self._invalidate_line(msg.block_addr, send_md=req_md)
+        elif msg.block_addr in self.write_buffer:
+            wb = self.write_buffer.get(msg.block_addr)
+            self.network.send(Message(
+                MessageType.DATA_TO_REQ, src=self.core_id, dst=requestor,
+                block_addr=msg.block_addr,
+                payload={"data": bytes(wb.data), "req_md": req_md}),
+                extra_delay=delay)
+            self.network.send(Message(
+                MessageType.DATA_WB, src=self.core_id, dst=msg.src,
+                block_addr=msg.block_addr,
+                payload={"data": bytes(wb.data), "requestor": requestor,
+                         "xfer": True, "from_wb": True}),
+                extra_delay=delay)
+            if req_md:
+                self._metadata_response(msg.block_addr)
+        else:
+            self.network.send(Message(
+                MessageType.ACK_NO_DATA, src=self.core_id, dst=msg.src,
+                block_addr=msg.block_addr,
+                payload={"requestor": requestor}), extra_delay=delay)
+            if req_md:
+                self._metadata_response(msg.block_addr)
+
+    # -- privatization ------------------------------------------------------------
+
+    def _on_tr_prv(self, msg: Message) -> None:
+        entry = self.cache.peek(msg.block_addr)
+        delay = self.config.l1.data_latency
+        if entry is not None:
+            line = entry.payload
+            if line.state == L1State.M or line.dirty:
+                # Flush so the LLC copy is fresh at privatization start.
+                self.network.send(Message(
+                    MessageType.DATA_WB, src=self.core_id, dst=msg.src,
+                    block_addr=msg.block_addr,
+                    payload={"data": bytes(line.data), "tr_prv": True}),
+                    extra_delay=delay)
+                line.dirty = False
+            self._metadata_response(msg.block_addr)
+            pentry = self.pam.get(msg.block_addr)
+            if pentry is not None:
+                pentry.read_bits = 0
+                pentry.write_bits = 0
+            mshr = self._mshrs.get(msg.block_addr)
+            if mshr is None or mshr.sent != MessageType.UPGRADE:
+                line.state = L1State.PRV
+        else:
+            # Evicted (possibly with a PUTM in flight): phantom response.
+            self._metadata_response(msg.block_addr)
+            mshr = self._mshrs.get(msg.block_addr)
+            if mshr is not None and mshr.sent in (MessageType.GET,
+                                                  MessageType.GETX):
+                # Our fill response is in flight while the block privatizes:
+                # the phantom told the directory we hold nothing, so we must
+                # drop the stale response and reissue (join as PRV sharer).
+                mshr.aborted = True
+
+    def _on_inv_prv(self, msg: Message) -> None:
+        self.stats["invalidations_received"] += 1
+        entry = self.cache.peek(msg.block_addr)
+        mshr = self._mshrs.get(msg.block_addr)
+        delay = self.config.l1.data_latency
+        if entry is not None:
+            line = entry.payload
+            self.network.send(Message(
+                MessageType.PRV_WB, src=self.core_id, dst=msg.src,
+                block_addr=msg.block_addr,
+                payload={"data": bytes(line.data)}), extra_delay=delay)
+            self.cache.invalidate(msg.block_addr)
+            self.pam.invalidate(msg.block_addr)
+            if mshr is not None:
+                if mshr.sent in (MessageType.GETCHK, MessageType.GETXCHK):
+                    # The directory answers the CHK with data post-termination.
+                    mshr.chk_line_lost = True
+                elif mshr.sent == MessageType.UPGRADE:
+                    mshr.aborted = True
+        else:
+            self.network.send(Message(
+                MessageType.CTRL_WB, src=self.core_id, dst=msg.src,
+                block_addr=msg.block_addr, payload={}),
+                extra_delay=self.config.l1.tag_latency)
+            if mshr is not None and mshr.sent in (
+                    MessageType.GET, MessageType.GETX, MessageType.UPGRADE):
+                mshr.aborted = True
+
+    # -- recalls and writeback acks ------------------------------------------------
+
+    def _on_recall(self, msg: Message) -> None:
+        entry = self.cache.peek(msg.block_addr)
+        delay = self.config.l1.data_latency
+        if entry is not None and (entry.payload.state == L1State.M
+                                  or entry.payload.dirty):
+            self.network.send(Message(
+                MessageType.DATA_WB, src=self.core_id, dst=msg.src,
+                block_addr=msg.block_addr,
+                payload={"data": bytes(entry.payload.data), "recall": True}),
+                extra_delay=delay)
+            self._invalidate_line(msg.block_addr,
+                                  send_md=bool(msg.payload.get("req_md")))
+        else:
+            if entry is not None:
+                self._invalidate_line(msg.block_addr,
+                                      send_md=bool(msg.payload.get("req_md")))
+            self.network.send(Message(
+                MessageType.ACK_NO_DATA, src=self.core_id, dst=msg.src,
+                block_addr=msg.block_addr, payload={"recall": True}),
+                extra_delay=self.config.l1.tag_latency)
+
+    def _on_wb_ack(self, msg: Message) -> None:
+        if msg.block_addr in self.write_buffer:
+            entry = self.write_buffer.remove(msg.block_addr)
+            for op, cb in entry.meta.get("pending_ops", []):
+                self.access(op, cb)
+
+    # ----------------------------------------------------------------- misc
+
+    def drain_complete(self) -> bool:
+        """True when no transactions or buffered writebacks remain."""
+        return not self._mshrs and len(self.write_buffer) == 0
+
+    def miss_rate(self) -> float:
+        accesses = self.stats["loads"] + self.stats["stores"] + self.stats["rmws"]
+        if accesses == 0:
+            return 0.0
+        return (self.stats["misses"] + self.stats["chk_misses"]) / accesses

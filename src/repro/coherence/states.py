@@ -1,0 +1,78 @@
+"""Coherence state enumerations.
+
+Stable states only; in-flight transactions live in MSHRs (L1 side) and busy
+contexts (directory side) rather than in transient line states, which keeps
+the state machines small and the races explicit.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ProtocolMode(enum.Enum):
+    """Which protocol the machine runs (the paper's three configurations)."""
+
+    MESI = "mesi"          # improved non-blocking baseline
+    FSDETECT = "fsdetect"  # detection only (reports, no repair)
+    FSLITE = "fslite"      # detection + on-the-fly privatization
+
+    @property
+    def detects(self) -> bool:
+        return self is not ProtocolMode.MESI
+
+    @property
+    def repairs(self) -> bool:
+        return self is ProtocolMode.FSLITE
+
+
+class L1State(enum.Enum):
+    """Stable private-cache line states (MESI + the FSLite PRV state)."""
+
+    I = enum.auto()
+    S = enum.auto()
+    E = enum.auto()
+    M = enum.auto()
+    PRV = enum.auto()
+
+    @property
+    def readable(self) -> bool:
+        return self is not L1State.I
+
+    @property
+    def writable(self) -> bool:
+        return self in (L1State.E, L1State.M)
+
+
+class DirState(enum.Enum):
+    """Stable directory-entry states (cache-centric notation)."""
+
+    #: No private copies; the LLC owns the block.
+    I = enum.auto()
+    #: One or more cores hold the block in S; LLC data is valid.
+    S = enum.auto()
+    #: One core owns the block in E or M; LLC data may be stale.
+    EM = enum.auto()
+    #: Privatized: multiple cores hold writable private copies (FSLite).
+    PRV = enum.auto()
+
+
+class BusyKind(enum.Enum):
+    """Why a directory entry is transiently blocked."""
+
+    FETCH = enum.auto()       # waiting for main memory
+    FWD = enum.auto()         # intervention forwarded to the owner
+    INV_COLLECT = enum.auto()  # collecting invalidation acks
+    PRV_INIT = enum.auto()    # collecting TR_PRV metadata responses
+    PRV_TERM = enum.auto()    # collecting Prv_WB termination responses
+    RECALL = enum.auto()      # recalling private copies to evict the block
+
+
+class TerminationCause(enum.Enum):
+    """Why a privatized episode ended (Section V-C)."""
+
+    CONFLICT = "conflict"
+    LLC_EVICTION = "llc_eviction"
+    SAM_EVICTION = "sam_eviction"
+    EXTERNAL_SOCKET = "external_socket"
+    INIT_ABORT = "init_abort"

@@ -1,0 +1,34 @@
+"""Small helpers for integers used as bit vectors.
+
+PAM read/write vectors, SAM reader vectors and sharer lists are all plain
+Python ints treated as bit sets; these helpers keep that idiom readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def mask_for_range(offset: int, length: int) -> int:
+    """Return a mask with ``length`` bits set starting at ``offset``."""
+    return ((1 << length) - 1) << offset
+
+
+def bit_count(value: int) -> int:
+    """Count set bits (portable ``int.bit_count``)."""
+    return bin(value).count("1")
+
+
+def bits_set(value: int, mask: int) -> bool:
+    """Return True if every bit of ``mask`` is set in ``value``."""
+    return (value & mask) == mask
+
+
+def iter_set_bits(value: int) -> Iterator[int]:
+    """Yield the index of each set bit, ascending."""
+    index = 0
+    while value:
+        if value & 1:
+            yield index
+        value >>= 1
+        index += 1

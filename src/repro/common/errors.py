@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch everything originating here with a
+single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class ProtocolError(ReproError):
+    """A coherence-protocol invariant was violated.
+
+    These indicate bugs in a protocol implementation (e.g. a message arriving
+    in a state that cannot legally receive it), never user error.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation reached an unrecoverable state (e.g. deadlock)."""
+
+
+class WorkloadError(ReproError):
+    """A workload program misbehaved (e.g. yielded an invalid operation)."""

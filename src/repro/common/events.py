@@ -1,0 +1,94 @@
+"""Deterministic discrete-event kernel.
+
+The whole simulator is driven by one :class:`EventQueue`. Events at the same
+timestamp fire in insertion order (a monotonically increasing sequence number
+breaks ties), which makes every simulation fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordered by (time, seq)."""
+
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A time-ordered queue of callbacks with a current-time cursor."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0
+        self._executed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def executed(self) -> int:
+        """Number of events executed so far (useful for runaway detection)."""
+        return self._executed
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        return self.schedule(time - self._now, callback)
+
+    def empty(self) -> bool:
+        return not any(not e.cancelled for e in self._heap)
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled event. Return False if none left."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` cycles pass, or
+        ``max_events`` events execute (whichever comes first)."""
+        executed = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                return
+            if max_events is not None and executed >= max_events:
+                return
+            if not self.step():
+                return
+            executed += 1

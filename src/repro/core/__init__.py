@@ -1,0 +1,27 @@
+"""The paper's primary contribution: FSDetect / FSLite metadata and logic.
+
+This package holds the access-metadata structures (PAM and SAM tables), the
+per-directory-entry counters (FC, IC, HC, PMMC), the detection decision
+engine, byte-level merge helpers, and false-sharing reports. The coherence
+controllers in :mod:`repro.coherence` drive these components with protocol
+messages.
+"""
+
+from repro.core.counters import DirEntryMeta
+from repro.core.merge import merge_block
+from repro.core.pam import PamEntry, PamTable
+from repro.core.report import DetectionAction, FalseSharingReport
+from repro.core.sam import SamEntry, SamTable
+from repro.core.fsdetect import FalseSharingDetector
+
+__all__ = [
+    "DirEntryMeta",
+    "merge_block",
+    "PamEntry",
+    "PamTable",
+    "DetectionAction",
+    "FalseSharingReport",
+    "SamEntry",
+    "SamTable",
+    "FalseSharingDetector",
+]

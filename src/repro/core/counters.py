@@ -1,0 +1,73 @@
+"""Per-directory-entry FSDetect/FSLite counters — Figure 5c.
+
+Each directory entry carries a 7-bit fetch counter (FC), a 7-bit
+invalidation/intervention counter (IC), a 2-bit saturating hysteresis
+counter (HC, Section VI) and a pending-metadata-message counter (PMMC,
+Section V). FC and IC both reset when either saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+
+@dataclass
+class DirEntryMeta:
+    """Counter state for one block's directory entry."""
+
+    counter_max: int = 127
+    hysteresis_max: int = 3
+    fc: int = 0
+    ic: int = 0
+    hc: int = 0
+    #: Cores whose metadata response (REP_MD or phantom) is outstanding.
+    #: ``len(pending_md)`` is the PMMC value of the paper; tracking the core
+    #: set makes responses idempotent under races.
+    pending_md: Set[int] = field(default_factory=set)
+
+    def bump_fc(self) -> None:
+        """Count a Get/GetX/Upgrade received by the LLC for this block."""
+        self.fc += 1
+        if self.fc >= self.counter_max or self.ic >= self.counter_max:
+            self._saturate_reset()
+
+    def bump_ic(self, count: int = 1) -> None:
+        """Count invalidations/interventions sent by the directory."""
+        self.ic += count
+        if self.fc >= self.counter_max or self.ic >= self.counter_max:
+            self._saturate_reset()
+
+    def _saturate_reset(self) -> None:
+        self.fc = 0
+        self.ic = 0
+
+    def reset_fc_ic(self) -> None:
+        self.fc = 0
+        self.ic = 0
+
+    def crossed(self, threshold: int) -> bool:
+        """True when both FC and IC have crossed ``threshold``."""
+        return self.fc >= threshold and self.ic >= threshold
+
+    def bump_hc(self) -> None:
+        if self.hc < self.hysteresis_max:
+            self.hc += 1
+
+    def decay_hc(self) -> None:
+        if self.hc > 0:
+            self.hc -= 1
+
+    @property
+    def pmmc(self) -> int:
+        return len(self.pending_md)
+
+    def expect_md(self, cores) -> None:
+        self.pending_md.update(cores)
+
+    def md_arrived(self, core: int) -> bool:
+        """Record a metadata (or phantom) response; True if it was pending."""
+        if core in self.pending_md:
+            self.pending_md.discard(core)
+            return True
+        return False

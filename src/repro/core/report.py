@@ -1,0 +1,96 @@
+"""False-sharing detection reports and directory-side decision actions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+
+class DetectionAction(enum.Enum):
+    """What the directory should do after a demand request is counted."""
+
+    NONE = enum.auto()
+    #: FC/IC crossed τP with TS=0 and HC=0: flag as falsely shared. Under
+    #: FSLite this triggers privatization; under FSDetect-only it is
+    #: reported and the counters reset.
+    FLAG_FALSE_SHARING = enum.auto()
+    #: FC/IC crossed τP but HC>0 (or TS set): reset metadata, decay HC.
+    RESET_METADATA = enum.auto()
+
+
+@dataclass(frozen=True)
+class ContendedLineReport:
+    """A *truly* shared line under heavy contention (Section VII: FSDetect
+    "can identify and report contended synchronization variables").
+
+    Flagged when FC and IC cross the privatization threshold while the TS
+    bit is set: the line ping-pongs, but the accesses genuinely overlap —
+    locks, shared counters, and similar synchronization hot spots.
+    """
+
+    block_addr: int
+    cycle: int
+    fc: int
+    ic: int
+    cores: FrozenSet[int] = field(default_factory=frozenset)
+
+    def __str__(self) -> str:
+        cores = ",".join(str(c) for c in sorted(self.cores)) or "?"
+        return (
+            f"block {self.block_addr:#x} truly shared and contended by "
+            f"cores [{cores}] (FC={self.fc}, IC={self.ic}) "
+            f"at cycle {self.cycle}"
+        )
+
+
+@dataclass(frozen=True)
+class TrueSharingConflict:
+    """One byte-level true-sharing observation (Section VII: with simple
+    extensions FSDetect can identify region conflicts and data races).
+
+    Recorded when incoming private metadata overlaps another core's
+    accesses on the same bytes with at least one write. Unsynchronized
+    instances of this pattern are exactly the conflicts race detectors
+    hunt; synchronized ones are legitimate communication — the report
+    carries the evidence, classification is the tool's job.
+    """
+
+    block_addr: int
+    cycle: int
+    core: int
+    granule_mask: int
+    is_write: bool
+
+    def __str__(self) -> str:
+        kind = "write" if self.is_write else "read"
+        return (
+            f"core {self.core} {kind} conflicting on block "
+            f"{self.block_addr:#x} granules {self.granule_mask:#x} "
+            f"at cycle {self.cycle}"
+        )
+
+
+@dataclass(frozen=True)
+class FalseSharingReport:
+    """One detected instance of harmful false sharing.
+
+    ``cores`` is the set of cores known to access the block (precise in
+    full-reader-vector mode; best-effort under the reader-metadata
+    optimization, as the paper notes).
+    """
+
+    block_addr: int
+    cycle: int
+    fc: int
+    ic: int
+    cores: FrozenSet[int] = field(default_factory=frozenset)
+    privatized: bool = False
+
+    def __str__(self) -> str:
+        cores = ",".join(str(c) for c in sorted(self.cores)) or "?"
+        tag = "privatized" if self.privatized else "reported"
+        return (
+            f"block {self.block_addr:#x} falsely shared by cores [{cores}] "
+            f"(FC={self.fc}, IC={self.ic}) at cycle {self.cycle} [{tag}]"
+        )

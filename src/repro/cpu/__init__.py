@@ -1,0 +1,30 @@
+"""Core models and the memory-operation "ISA" used by thread programs."""
+
+from repro.cpu.ops import (
+    Op,
+    OpKind,
+    cas,
+    compute,
+    fence,
+    fetch_add,
+    load,
+    rmw,
+    store,
+)
+from repro.cpu.core import InOrderCore, ThreadProgram
+from repro.cpu.ooo import OutOfOrderCore
+
+__all__ = [
+    "Op",
+    "OpKind",
+    "cas",
+    "compute",
+    "fence",
+    "fetch_add",
+    "load",
+    "rmw",
+    "store",
+    "InOrderCore",
+    "ThreadProgram",
+    "OutOfOrderCore",
+]

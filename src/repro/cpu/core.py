@@ -1,0 +1,82 @@
+"""In-order core model.
+
+One outstanding memory operation; COMPUTE ops advance local time; the core
+blocks on every load/store until it is globally performed — the Table II
+"in-order CPU" configuration the paper's primary results use.
+
+A core executes a *thread program*: a generator yielding :class:`Op` values
+and receiving each op's result back (see :mod:`repro.cpu.ops`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.common.errors import WorkloadError
+from repro.common.events import EventQueue
+from repro.cpu.ops import Op, OpKind
+
+ThreadProgram = Generator[Op, int, None]
+
+
+class InOrderCore:
+    """Drives one thread program against one L1 controller."""
+
+    def __init__(
+        self,
+        core_id: int,
+        queue: EventQueue,
+        l1,
+        program: ThreadProgram,
+        on_done: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.queue = queue
+        self.l1 = l1
+        self.program = program
+        self.on_done = on_done
+        self.done = False
+        self.finish_cycle: Optional[int] = None
+        self.ops_executed = 0
+        self.mem_ops = 0
+        self.compute_cycles = 0
+        self.mem_stall_cycles = 0
+        self._issue_cycle = 0
+
+    def start(self) -> None:
+        self.queue.schedule(0, lambda: self._advance(None, first=True))
+
+    def _advance(self, result: Optional[int], first: bool = False) -> None:
+        """Resume the program with the previous op's result and issue next."""
+        try:
+            if first:
+                op = next(self.program)
+            else:
+                op = self.program.send(result)
+        except StopIteration:
+            self._finish()
+            return
+        if not isinstance(op, Op):
+            raise WorkloadError(
+                f"thread program yielded a non-Op: {op!r}")
+        self.ops_executed += 1
+        if op.kind == OpKind.COMPUTE:
+            self.compute_cycles += op.cycles
+            self.queue.schedule(op.cycles, lambda: self._advance(0))
+        elif op.kind == OpKind.FENCE:
+            # In-order, one outstanding op: fences are timing no-ops.
+            self.queue.schedule(0, lambda: self._advance(0))
+        else:
+            self.mem_ops += 1
+            self._issue_cycle = self.queue.now
+            self.l1.access(op, self._mem_complete)
+
+    def _mem_complete(self, result: int) -> None:
+        self.mem_stall_cycles += self.queue.now - self._issue_cycle
+        self._advance(result)
+
+    def _finish(self) -> None:
+        self.done = True
+        self.finish_cycle = self.queue.now
+        if self.on_done is not None:
+            self.on_done(self.core_id)

@@ -1,0 +1,96 @@
+"""Memory operations yielded by thread programs.
+
+A thread program is a Python generator that yields :class:`Op` values and
+receives the result of each operation back (the loaded value for LOAD, the
+*old* value for RMW). This lets workloads implement real synchronisation —
+spinlocks, CAS loops — whose control flow depends on loaded values, which a
+static trace cannot express.
+
+Access sizes are 1, 2, 4 or 8 bytes and naturally aligned, mirroring the two
+spare header bits FSLite uses to encode the touched-byte count (Section V-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class OpKind(enum.Enum):
+    LOAD = enum.auto()
+    STORE = enum.auto()
+    #: Atomic read-modify-write (CAS, fetch-add...). Needs write permission;
+    #: returns the old value; the new value is ``modify(old)``.
+    RMW = enum.auto()
+    #: Advance the core's local clock without touching memory.
+    COMPUTE = enum.auto()
+    #: Ordering point; a timing no-op for in-order cores, drains the window
+    #: on the out-of-order model.
+    FENCE = enum.auto()
+
+
+@dataclass
+class Op:
+    kind: OpKind
+    addr: int = 0
+    size: int = 4
+    value: int = 0
+    cycles: int = 0
+    modify: Optional[Callable[[int], int]] = None
+    #: Out-of-order hint: the program does not consume this op's result, so
+    #: the core may issue past it.
+    need_value: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind in (OpKind.LOAD, OpKind.STORE, OpKind.RMW):
+            if self.size not in (1, 2, 4, 8):
+                raise ValueError(f"bad access size {self.size}")
+            if self.addr % self.size != 0:
+                raise ValueError(
+                    f"unaligned access: addr={self.addr:#x} size={self.size}")
+        if self.kind == OpKind.RMW and self.modify is None:
+            raise ValueError("RMW requires a modify function")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in (OpKind.LOAD, OpKind.STORE, OpKind.RMW)
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in (OpKind.STORE, OpKind.RMW)
+
+
+def load(addr: int, size: int = 4, need_value: bool = True) -> Op:
+    return Op(OpKind.LOAD, addr=addr, size=size, need_value=need_value)
+
+
+def store(addr: int, value: int, size: int = 4) -> Op:
+    return Op(OpKind.STORE, addr=addr, size=size, value=value,
+              need_value=False)
+
+
+def rmw(addr: int, modify: Callable[[int], int], size: int = 4,
+        need_value: bool = True) -> Op:
+    return Op(OpKind.RMW, addr=addr, size=size, modify=modify,
+              need_value=need_value)
+
+
+def fetch_add(addr: int, delta: int = 1, size: int = 4) -> Op:
+    """Atomic fetch-and-add (result wraps at the access size)."""
+    mask = (1 << (8 * size)) - 1
+    return rmw(addr, lambda old: (old + delta) & mask, size=size,
+               need_value=False)
+
+
+def cas(addr: int, expect: int, new: int, size: int = 4) -> Op:
+    """Compare-and-swap; the program checks the returned old value."""
+    return rmw(addr, lambda old: new if old == expect else old, size=size)
+
+
+def compute(cycles: int) -> Op:
+    return Op(OpKind.COMPUTE, cycles=cycles, need_value=False)
+
+
+def fence() -> Op:
+    return Op(OpKind.FENCE, need_value=False)

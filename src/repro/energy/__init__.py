@@ -1,0 +1,5 @@
+"""CACTI-like energy and area models for the simulated hierarchy."""
+
+from repro.energy.model import AreaModel, EnergyBreakdown, EnergyModel
+
+__all__ = ["AreaModel", "EnergyBreakdown", "EnergyModel"]

@@ -1,0 +1,172 @@
+"""Energy and area models.
+
+The paper computes latency/area with CACTI and reports (i) the structures'
+storage being <5% of the hierarchy (Table II) and (ii) cache-hierarchy
+energy: static plus dynamic fill energy of L1D and LLC (Section VIII-B).
+This module reproduces both accountings analytically:
+
+* :class:`EnergyModel` converts event counts (gathered by the simulator)
+  into nanojoules using per-event constants seeded from CACTI-class values;
+  the paper's results are *normalized* energies, so only the proportions
+  matter.
+* :class:`AreaModel` computes the storage of the PAM/SAM tables and the
+  directory-entry extension for a given configuration, mirroring the
+  Table II arithmetic (e.g. 8 KB PAM per L1D, 769-bit basic SAM entries,
+  19 extra directory bits for an 8-core system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.config import EnergyConfig, SystemConfig
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component energy in nanojoules."""
+
+    l1_dynamic_nj: float = 0.0
+    llc_dynamic_nj: float = 0.0
+    metadata_dynamic_nj: float = 0.0
+    network_nj: float = 0.0
+    dram_nj: float = 0.0
+    static_nj: float = 0.0
+    metadata_static_nj: float = 0.0
+
+    @property
+    def total_nj(self) -> float:
+        return (self.l1_dynamic_nj + self.llc_dynamic_nj
+                + self.metadata_dynamic_nj + self.network_nj + self.dram_nj
+                + self.static_nj + self.metadata_static_nj)
+
+    @property
+    def static_total_nj(self) -> float:
+        return self.static_nj + self.metadata_static_nj
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "l1_dynamic_nj": self.l1_dynamic_nj,
+            "llc_dynamic_nj": self.llc_dynamic_nj,
+            "metadata_dynamic_nj": self.metadata_dynamic_nj,
+            "network_nj": self.network_nj,
+            "dram_nj": self.dram_nj,
+            "static_nj": self.static_nj,
+            "metadata_static_nj": self.metadata_static_nj,
+            "total_nj": self.total_nj,
+        }
+
+
+class EnergyModel:
+    """Turns simulator event counts into an :class:`EnergyBreakdown`."""
+
+    def __init__(self, config: EnergyConfig, metadata_enabled: bool) -> None:
+        self.config = config
+        self.metadata_enabled = metadata_enabled
+
+    def compute(
+        self,
+        cycles: int,
+        l1_reads: int,
+        l1_writes: int,
+        llc_accesses: int,
+        pam_accesses: int,
+        sam_accesses: int,
+        counter_accesses: int,
+        network_bytes: int,
+        dram_accesses: int,
+    ) -> EnergyBreakdown:
+        cfg = self.config
+        seconds = cycles / (cfg.clock_ghz * 1e9)
+        breakdown = EnergyBreakdown(
+            l1_dynamic_nj=(l1_reads * cfg.l1_read_nj
+                           + l1_writes * cfg.l1_write_nj),
+            llc_dynamic_nj=llc_accesses * (cfg.llc_read_nj + cfg.llc_write_nj) / 2,
+            metadata_dynamic_nj=(pam_accesses * cfg.pam_access_nj
+                                 + sam_accesses * cfg.sam_access_nj
+                                 + counter_accesses * cfg.dir_counter_access_nj),
+            network_nj=(network_bytes / 8.0) * cfg.network_flit_nj,
+            dram_nj=dram_accesses * cfg.dram_access_nj,
+            static_nj=cfg.static_power_w * seconds * 1e9,
+            metadata_static_nj=(cfg.metadata_static_power_w * seconds * 1e9
+                                if self.metadata_enabled else 0.0),
+        )
+        return breakdown
+
+
+class AreaModel:
+    """Storage/area arithmetic for the proposal's structures (Table II)."""
+
+    #: Rough SRAM density used to convert KB to mm^2 at a 22 nm-class node,
+    #: calibrated so the Table II L1/L2 areas are the right order.
+    MM2_PER_KB = 0.0021
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+
+    # -- per-structure storage, in bits ----------------------------------------
+
+    def pam_entry_bits(self) -> int:
+        granules = self.config.block_size // self.config.protocol.tracking_granularity
+        return 2 * granules + 1  # R/W bits + SEND_MD
+
+    def pam_table_bits(self) -> int:
+        """One PAM table (per core): one entry per L1D block."""
+        return self.config.l1.num_blocks * self.pam_entry_bits()
+
+    def sam_entry_bits(self, reader_opt: bool = None) -> int:
+        cfg = self.config
+        if reader_opt is None:
+            reader_opt = cfg.protocol.reader_metadata_opt
+        cores = cfg.num_cores
+        log_c = max(1, (cores - 1).bit_length())
+        granules = cfg.block_size // cfg.protocol.tracking_granularity
+        writer_bits = 1 + log_c
+        reader_bits = (log_c + 2) if reader_opt else cores
+        return (writer_bits + reader_bits) * granules + 1
+
+    def sam_table_bits(self, reader_opt: bool = None) -> int:
+        """One SAM table (per LLC slice), including tag + LRU overhead for a
+        48-bit physical address as the paper assumes."""
+        cfg = self.config
+        entries = cfg.protocol.sam_entries
+        tag_bits = 48 - 6 - max(1, (cfg.protocol.sam_sets - 1).bit_length())
+        lru_bits = max(1, (cfg.protocol.sam_ways - 1).bit_length())
+        per_entry = self.sam_entry_bits(reader_opt) + tag_bits + lru_bits + 1
+        return entries * per_entry
+
+    def dir_extension_bits_per_entry(self) -> int:
+        """FC (7) + IC (7) + HC (2) + PMMC (log2 C) bits."""
+        log_c = max(1, (self.config.num_cores - 1).bit_length())
+        return 7 + 7 + 2 + log_c
+
+    def dir_extension_bits(self) -> int:
+        """Per LLC slice: one extension per directory (LLC) entry."""
+        blocks_per_slice = (self.config.llc.num_blocks
+                            // self.config.num_llc_slices)
+        return blocks_per_slice * self.dir_extension_bits_per_entry()
+
+    # -- summaries ------------------------------------------------------------
+
+    def overhead_summary(self) -> Dict[str, float]:
+        cfg = self.config
+        pam_kb = self.pam_table_bits() / 8 / 1024
+        sam_kb = self.sam_table_bits() / 8 / 1024
+        sam_opt_kb = self.sam_table_bits(reader_opt=True) / 8 / 1024
+        dir_kb = self.dir_extension_bits() / 8 / 1024
+        hierarchy_kb = (cfg.num_cores * cfg.l1.size_bytes
+                        + cfg.llc.size_bytes) / 1024
+        added_kb = (cfg.num_cores * pam_kb
+                    + cfg.num_llc_slices * (sam_kb + dir_kb))
+        return {
+            "pam_kb_per_core": pam_kb,
+            "sam_kb_per_slice": sam_kb,
+            "sam_opt_kb_per_slice": sam_opt_kb,
+            "dir_ext_kb_per_slice": dir_kb,
+            "hierarchy_kb": hierarchy_kb,
+            "added_kb_total": added_kb,
+            "overhead_fraction": added_kb / hierarchy_kb,
+            "pam_area_mm2": pam_kb * self.MM2_PER_KB,
+            "sam_area_mm2": sam_kb * self.MM2_PER_KB,
+        }

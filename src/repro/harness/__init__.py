@@ -1,0 +1,22 @@
+"""Experiment harness: per-figure drivers reproducing the paper's results."""
+
+from repro.harness import experiments
+from repro.harness.baselines import run_huron, run_manual_fix
+from repro.harness.export import flatten_record, records_to_csv
+from repro.harness.runner import RunRecord, run_workload
+from repro.harness.sweep import sweep_l1_size, sweep_protocol_knob
+from repro.harness.tables import format_table, geomean
+
+__all__ = [
+    "experiments",
+    "run_huron",
+    "run_manual_fix",
+    "flatten_record",
+    "records_to_csv",
+    "RunRecord",
+    "run_workload",
+    "sweep_l1_size",
+    "sweep_protocol_knob",
+    "format_table",
+    "geomean",
+]

@@ -1,0 +1,76 @@
+"""Result export: CSV emission and run-record flattening.
+
+The paper's artifact consolidates gem5 stats into per-experiment CSV files
+that the plotting scripts consume; this module provides the same shape for
+our runs so results can be post-processed outside Python.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Optional
+
+from repro.harness.runner import RunRecord
+
+
+def flatten_record(record: RunRecord) -> Dict[str, object]:
+    """One flat row per run: identity, timing, traffic, energy, FSLite."""
+    stats = record.stats
+    row: Dict[str, object] = {
+        "tag": record.tag,
+        "protocol": record.mode.value,
+        "layout": record.layout,
+        "core_model": record.core_model,
+        "cycles": record.cycles,
+        "accesses": stats.accesses,
+        "l1_misses": stats.l1_misses,
+        "l1_miss_rate": round(stats.l1_miss_rate, 6),
+        "l1_requests": stats.l1_requests,
+        "messages": stats.total_messages,
+        "bytes": stats.total_bytes,
+        "metadata_messages": stats.metadata_messages,
+        "inv_interventions": stats.inv_intervention_messages,
+        "privatizations": stats.privatizations,
+        "fs_reports": len(stats.reports),
+        "energy_nj": round(stats.energy_nj, 2),
+    }
+    for cause, count in stats.terminations.items():
+        row[f"term_{cause}"] = count
+    return row
+
+
+def records_to_csv(records: Iterable[RunRecord],
+                   path: Optional[str] = None) -> str:
+    """Serialize run records to CSV; returns the text (and writes ``path``
+    when given)."""
+    rows = [flatten_record(r) for r in records]
+    if not rows:
+        return ""
+    fieldnames: List[str] = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fieldnames, restval=0)
+    writer.writeheader()
+    writer.writerows(rows)
+    text = buf.getvalue()
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text
+
+
+def experiment_to_csv(result, path: Optional[str] = None) -> str:
+    """Serialize an ExperimentResult's rows to CSV."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(result.headers)
+    writer.writerows(result.rows)
+    text = buf.getvalue()
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text

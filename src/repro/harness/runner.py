@@ -1,0 +1,74 @@
+"""Run one (workload, protocol, layout, config) combination."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.coherence.states import ProtocolMode
+from repro.common.config import SystemConfig
+from repro.system.builder import build_machine
+from repro.system.simulator import Simulator, flush_machine_memory
+from repro.system.stats import SimStats
+from repro.workloads.registry import make_workload
+
+#: The paper evaluates with 4 child threads on an 8-core machine.
+DEFAULT_THREADS = 4
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one simulation run of one workload."""
+
+    tag: str
+    mode: ProtocolMode
+    layout: str
+    cycles: int
+    stats: SimStats
+    core_model: str = "inorder"
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.stats.l1_miss_rate
+
+    @property
+    def energy_nj(self) -> float:
+        return self.stats.energy_nj
+
+    def speedup_over(self, baseline: "RunRecord") -> float:
+        return baseline.cycles / self.cycles
+
+    def energy_vs(self, baseline: "RunRecord") -> float:
+        return self.energy_nj / baseline.energy_nj
+
+
+def run_workload(
+    tag: str,
+    mode: ProtocolMode = ProtocolMode.MESI,
+    layout: str = "packed",
+    config: Optional[SystemConfig] = None,
+    num_threads: int = DEFAULT_THREADS,
+    scale: float = 1.0,
+    seed: int = 0,
+    core_model: str = "inorder",
+    ooo_window: int = 8,
+    verify: bool = True,
+) -> RunRecord:
+    """Build, run and (optionally) verify one workload; returns the record.
+
+    ``verify=True`` checks the final coherent memory image against the
+    workload's expected result — a full end-to-end coherence check on every
+    harness run.
+    """
+    config = config or SystemConfig()
+    workload = make_workload(tag, num_threads=num_threads, scale=scale,
+                             layout=layout)
+    machine = build_machine(config, mode)
+    machine.attach_programs(workload.programs(), core_model=core_model,
+                            ooo_window=ooo_window)
+    result = Simulator(machine).run()
+    if verify:
+        workload.verify(flush_machine_memory(machine))
+    return RunRecord(tag=tag, mode=mode, layout=layout, cycles=result.cycles,
+                     stats=result.stats, core_model=core_model)

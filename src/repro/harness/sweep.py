@@ -1,0 +1,92 @@
+"""Parameter-sweep utilities.
+
+Generic helpers to sweep one protocol/system knob across values and collect
+run records — the machinery behind the sensitivity studies (τP, SAM size,
+tracking granularity, L1D capacity) and available for new explorations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.coherence.states import ProtocolMode
+from repro.common.config import SystemConfig
+from repro.harness.runner import RunRecord, run_workload
+
+
+@dataclass
+class SweepResult:
+    """Records indexed by (parameter value, workload tag)."""
+
+    parameter: str
+    values: List[object]
+    tags: List[str]
+    records: Dict[object, Dict[str, RunRecord]] = field(default_factory=dict)
+
+    def speedup_vs(self, reference_value) -> Dict[object, Dict[str, float]]:
+        """Per-value, per-tag speedup relative to ``reference_value``."""
+        ref = self.records[reference_value]
+        out: Dict[object, Dict[str, float]] = {}
+        for value in self.values:
+            out[value] = {
+                tag: ref[tag].cycles / self.records[value][tag].cycles
+                for tag in self.tags
+            }
+        return out
+
+    def metric(self, fn: Callable[[RunRecord], float]
+               ) -> Dict[object, Dict[str, float]]:
+        return {
+            value: {tag: fn(rec) for tag, rec in by_tag.items()}
+            for value, by_tag in self.records.items()
+        }
+
+
+def sweep_protocol_knob(
+    knob: str,
+    values: Sequence[object],
+    tags: Sequence[str],
+    mode: ProtocolMode = ProtocolMode.FSLITE,
+    base_config: Optional[SystemConfig] = None,
+    scale: float = 1.0,
+    paired_knobs: Optional[Callable[[object], dict]] = None,
+) -> SweepResult:
+    """Sweep one :class:`ProtocolConfig` field across ``values``.
+
+    ``paired_knobs(value)`` may return extra protocol fields to set along
+    with the swept one (e.g. keep ``tau_r1`` equal to ``tau_p``).
+    """
+    base = base_config or SystemConfig()
+    result = SweepResult(parameter=knob, values=list(values),
+                         tags=list(tags))
+    for value in values:
+        changes = {knob: value}
+        if paired_knobs is not None:
+            changes.update(paired_knobs(value))
+        config = base.with_protocol(**changes)
+        result.records[value] = {
+            tag: run_workload(tag, mode, config=config, scale=scale)
+            for tag in tags
+        }
+    return result
+
+
+def sweep_l1_size(
+    sizes_kb: Sequence[int],
+    tags: Sequence[str],
+    mode: ProtocolMode = ProtocolMode.MESI,
+    base_config: Optional[SystemConfig] = None,
+    scale: float = 1.0,
+) -> SweepResult:
+    """Sweep the private-cache capacity (the Section VIII-B cache studies)."""
+    base = base_config or SystemConfig()
+    result = SweepResult(parameter="l1_kb", values=list(sizes_kb),
+                         tags=list(tags))
+    for kb in sizes_kb:
+        config = base.with_l1_size(kb * 1024)
+        result.records[kb] = {
+            tag: run_workload(tag, mode, config=config, scale=scale)
+            for tag in tags
+        }
+    return result

@@ -1,0 +1,6 @@
+"""On-chip interconnect: typed coherence messages and a latency network."""
+
+from repro.interconnect.message import Message, MessageClass, MessageType
+from repro.interconnect.network import Network, NetworkStats
+
+__all__ = ["Message", "MessageClass", "MessageType", "Network", "NetworkStats"]

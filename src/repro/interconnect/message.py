@@ -1,0 +1,148 @@
+"""Coherence message types.
+
+Message vocabulary covers the baseline MESI protocol plus the FSDetect and
+FSLite extensions of the paper (Sections IV-V): REQ_MD piggybacking,
+REP_MD / phantom metadata messages, and the privatization family
+(TR_PRV, Data_PRV, GetCHK/GetXCHK, Ack_PRV, Inv_PRV, Prv_WB, Ctrl_WB,
+UpgAck_PRV).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class MessageType(enum.Enum):
+    # -- baseline requests (L1 -> directory) --------------------------------
+    GET = enum.auto()            # read miss
+    GETX = enum.auto()           # write miss (read-exclusive)
+    UPGRADE = enum.auto()        # S -> M permission request
+    PUTM = enum.auto()           # dirty writeback (also used for PRV blocks)
+
+    # -- baseline directory -> L1 -------------------------------------------
+    FWD_GET = enum.auto()        # intervention for a read
+    FWD_GETX = enum.auto()       # intervention for a write
+    INV = enum.auto()            # invalidation
+    DATA = enum.auto()           # data response (shared)
+    DATA_E = enum.auto()         # data response (exclusive)
+    UPG_ACK = enum.auto()        # upgrade acknowledgement
+    WB_ACK = enum.auto()         # writeback acknowledgement
+    RECALL = enum.auto()         # inclusive-LLC recall of an owned block
+
+    # -- baseline L1 -> directory / L1 ---------------------------------------
+    INV_ACK = enum.auto()        # invalidation acknowledgement
+    DATA_WB = enum.auto()        # owner's data copy to the directory
+    XFER_ACK = enum.auto()       # ownership-transfer ack (FWD_GETX, no data)
+    ACK_NO_DATA = enum.auto()    # owner silently dropped the block (clean E)
+    DATA_TO_REQ = enum.auto()    # owner's data sent directly to the requestor
+
+    # -- FSDetect metadata ----------------------------------------------------
+    REP_MD = enum.auto()         # PAM-entry payload to the directory
+    PHANTOM_MD = enum.auto()     # dataless "no metadata" notification
+
+    # -- FSLite privatization -------------------------------------------------
+    TR_PRV = enum.auto()         # trigger privatization (directory -> sharers)
+    DATA_PRV = enum.auto()       # private copy of a privatized block
+    UPG_ACK_PRV = enum.auto()    # upgrade ack that also privatizes
+    GETCHK = enum.auto()         # first-touch read conflict check
+    GETXCHK = enum.auto()        # first-touch write conflict check
+    ACK_PRV = enum.auto()        # conflict check passed
+    INV_PRV = enum.auto()        # terminate privatization
+    PRV_WB = enum.auto()         # privatized copy returned on termination
+    CTRL_WB = enum.auto()        # dataless termination response (race)
+
+
+class MessageClass(enum.Enum):
+    """Traffic classes used for the paper's interconnect accounting."""
+
+    REQUEST = "request"           # Get/GetX/Upgrade/GetCHK/GetXCHK
+    INV_INTERVENTION = "inv_intervention"
+    DATA = "data"
+    CONTROL = "control"           # acks and other dataless messages
+    METADATA = "metadata"         # REP_MD / PHANTOM_MD
+    WRITEBACK = "writeback"
+
+
+_CLASS_OF: Dict[MessageType, MessageClass] = {
+    MessageType.GET: MessageClass.REQUEST,
+    MessageType.GETX: MessageClass.REQUEST,
+    MessageType.UPGRADE: MessageClass.REQUEST,
+    MessageType.GETCHK: MessageClass.REQUEST,
+    MessageType.GETXCHK: MessageClass.REQUEST,
+    MessageType.FWD_GET: MessageClass.INV_INTERVENTION,
+    MessageType.FWD_GETX: MessageClass.INV_INTERVENTION,
+    MessageType.INV: MessageClass.INV_INTERVENTION,
+    MessageType.RECALL: MessageClass.INV_INTERVENTION,
+    MessageType.TR_PRV: MessageClass.INV_INTERVENTION,
+    MessageType.INV_PRV: MessageClass.INV_INTERVENTION,
+    MessageType.DATA: MessageClass.DATA,
+    MessageType.DATA_E: MessageClass.DATA,
+    MessageType.DATA_PRV: MessageClass.DATA,
+    MessageType.DATA_WB: MessageClass.DATA,
+    MessageType.DATA_TO_REQ: MessageClass.DATA,
+    MessageType.UPG_ACK: MessageClass.CONTROL,
+    MessageType.UPG_ACK_PRV: MessageClass.CONTROL,
+    MessageType.WB_ACK: MessageClass.CONTROL,
+    MessageType.INV_ACK: MessageClass.CONTROL,
+    MessageType.XFER_ACK: MessageClass.CONTROL,
+    MessageType.ACK_NO_DATA: MessageClass.CONTROL,
+    MessageType.ACK_PRV: MessageClass.CONTROL,
+    MessageType.CTRL_WB: MessageClass.CONTROL,
+    MessageType.REP_MD: MessageClass.METADATA,
+    MessageType.PHANTOM_MD: MessageClass.METADATA,
+    MessageType.PUTM: MessageClass.WRITEBACK,
+    MessageType.PRV_WB: MessageClass.WRITEBACK,
+}
+
+#: Message sizes in bytes: 8-byte control header; data messages carry a
+#: 64-byte block; REP_MD carries the 16-byte read/write bit-vector payload
+#: (Section IV, "REP_MD message carries the read and write bit-vectors as a
+#: 16-byte payload").
+_HEADER_BYTES = 8
+_BLOCK_BYTES = 64
+_MD_PAYLOAD_BYTES = 16
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One interconnect message.
+
+    ``payload`` is a grab-bag dict for protocol-specific fields: ``data``
+    (bytearray), ``touched_mask`` (int byte mask of the triggering access),
+    ``req_md`` (bool REQ_MD header bit), ``requestor`` (core id the response
+    should unblock), ``read_bits``/``write_bits`` (REP_MD), ``solicited``
+    (metadata accounting), ``dirty`` (writebacks).
+    """
+
+    mtype: MessageType
+    src: int
+    dst: int
+    block_addr: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    @property
+    def mclass(self) -> MessageClass:
+        return _CLASS_OF[self.mtype]
+
+    @property
+    def size_bytes(self) -> int:
+        if self.mclass == MessageClass.DATA or self.mtype in (
+            MessageType.PUTM,
+            MessageType.PRV_WB,
+        ):
+            return _HEADER_BYTES + _BLOCK_BYTES
+        if self.mtype == MessageType.REP_MD:
+            return _HEADER_BYTES + _MD_PAYLOAD_BYTES
+        return _HEADER_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.mtype.name}, {self.src}->{self.dst}, "
+            f"blk={self.block_addr:#x})"
+        )

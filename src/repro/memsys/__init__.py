@@ -1,0 +1,26 @@
+"""Memory-system building blocks: cache arrays, replacement, DRAM, buffers."""
+
+from repro.memsys.cache_array import CacheArray, CacheEntry
+from repro.memsys.main_memory import MainMemory
+from repro.memsys.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+from repro.memsys.write_buffer import WriteBuffer
+
+__all__ = [
+    "CacheArray",
+    "CacheEntry",
+    "MainMemory",
+    "FifoPolicy",
+    "LruPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "TreePlruPolicy",
+    "make_policy",
+    "WriteBuffer",
+]

@@ -1,0 +1,189 @@
+"""A generic set-associative array.
+
+Used for the L1 data cache, the LLC, and the SAM metadata table — anything
+that maps a block address to an entry with bounded associativity and a
+replacement policy. Entries are user-defined objects attached to a
+:class:`CacheEntry` frame that carries the tag and validity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, Iterator, List, Optional, Sequence, TypeVar
+
+from repro.memsys.replacement import ReplacementPolicy, make_policy
+
+T = TypeVar("T")
+
+
+@dataclass
+class CacheEntry(Generic[T]):
+    """One way of one set: a tag frame plus a user payload."""
+
+    valid: bool = False
+    tag: int = -1
+    payload: Optional[T] = None
+    way: int = -1
+    set_index: int = -1
+
+
+class CacheArray(Generic[T]):
+    """Set-associative storage indexed by block address.
+
+    The array hashes a block address to a set using the block number modulo
+    the set count (after dropping slice-interleaving handled by callers).
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        block_size: int,
+        policy: str = "lru",
+        policy_factory: Optional[Callable[[int], ReplacementPolicy]] = None,
+        index_divisor: int = 1,
+        index_offset: int = 0,
+    ) -> None:
+        if num_sets < 1:
+            raise ValueError("num_sets must be >= 1")
+        self.num_sets = num_sets
+        self.ways = ways
+        self.block_size = block_size
+        #: Sliced structures (LLC slices, SAM tables) see only blocks whose
+        #: number is ``index_offset`` modulo ``index_divisor``; indexing by
+        #: the slice-local block number keeps all sets usable.
+        self.index_divisor = index_divisor
+        self.index_offset = index_offset
+        self._sets: List[List[CacheEntry[T]]] = [
+            [CacheEntry(way=w, set_index=s) for w in range(ways)]
+            for s in range(num_sets)
+        ]
+        if policy_factory is None:
+            self._policies = [make_policy(policy, ways) for _ in range(num_sets)]
+        else:
+            self._policies = [policy_factory(ways) for _ in range(num_sets)]
+        # Statistics.
+        self.lookups = 0
+        self.hits = 0
+        self.fills = 0
+        self.evictions = 0
+        self.valid_evictions = 0
+
+    # -- indexing -----------------------------------------------------------
+
+    def _local_block(self, block_addr: int) -> int:
+        return (block_addr // self.block_size) // self.index_divisor
+
+    def set_index_of(self, block_addr: int) -> int:
+        return self._local_block(block_addr) % self.num_sets
+
+    def _tag_of(self, block_addr: int) -> int:
+        return self._local_block(block_addr) // self.num_sets
+
+    # -- operations ---------------------------------------------------------
+
+    def lookup(self, block_addr: int, touch: bool = True) -> Optional[CacheEntry[T]]:
+        """Return the entry holding ``block_addr`` or None. Updates stats."""
+        self.lookups += 1
+        entry = self.peek(block_addr)
+        if entry is not None:
+            self.hits += 1
+            if touch:
+                self._policies[entry.set_index].touch(entry.way)
+        return entry
+
+    def peek(self, block_addr: int) -> Optional[CacheEntry[T]]:
+        """Tag-match without touching replacement state or stats."""
+        set_index = self.set_index_of(block_addr)
+        tag = self._tag_of(block_addr)
+        for entry in self._sets[set_index]:
+            if entry.valid and entry.tag == tag:
+                return entry
+        return None
+
+    def choose_victim(
+        self, block_addr: int, protected: Sequence[int] = ()
+    ) -> CacheEntry[T]:
+        """Return the entry (possibly valid) to be replaced for a fill."""
+        set_index = self.set_index_of(block_addr)
+        ways = self._sets[set_index]
+        for entry in ways:
+            if not entry.valid:
+                return entry
+        way = self._policies[set_index].victim(protected)
+        return ways[way]
+
+    def fill(
+        self,
+        block_addr: int,
+        payload: T,
+        protected: Sequence[int] = (),
+    ) -> Optional[CacheEntry[T]]:
+        """Insert ``block_addr``; return the evicted entry copy (or None).
+
+        The returned object is a detached :class:`CacheEntry` snapshot of the
+        victim so the caller can write back its payload; the in-array entry
+        is reused for the new block.
+        """
+        existing = self.peek(block_addr)
+        if existing is not None:
+            raise ValueError(f"block {block_addr:#x} already present")
+        victim = self.choose_victim(block_addr, protected)
+        evicted: Optional[CacheEntry[T]] = None
+        if victim.valid:
+            evicted = CacheEntry(
+                valid=True,
+                tag=victim.tag,
+                payload=victim.payload,
+                way=victim.way,
+                set_index=victim.set_index,
+            )
+            self.evictions += 1
+            self.valid_evictions += 1
+        victim.valid = True
+        victim.tag = self._tag_of(block_addr)
+        victim.payload = payload
+        self._policies[victim.set_index].touch(victim.way)
+        self.fills += 1
+        return evicted
+
+    def invalidate(self, block_addr: int) -> Optional[T]:
+        """Remove ``block_addr``; return its payload if it was present."""
+        entry = self.peek(block_addr)
+        if entry is None:
+            return None
+        payload = entry.payload
+        entry.valid = False
+        entry.tag = -1
+        entry.payload = None
+        self._policies[entry.set_index].reset(entry.way)
+        return payload
+
+    def addr_of(self, entry: CacheEntry[T]) -> int:
+        """Reconstruct the block base address stored in ``entry``."""
+        local = entry.tag * self.num_sets + entry.set_index
+        block_num = local * self.index_divisor + self.index_offset
+        return block_num * self.block_size
+
+    def __contains__(self, block_addr: int) -> bool:
+        return self.peek(block_addr) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_valid())
+
+    def iter_valid(self) -> Iterator[CacheEntry[T]]:
+        for ways in self._sets:
+            for entry in ways:
+                if entry.valid:
+                    yield entry
+
+    def occupancy(self) -> float:
+        return len(self) / (self.num_sets * self.ways)
+
+    def stats(self) -> dict:
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "fills": self.fills,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,67 @@
+"""Flat main-memory model.
+
+Stores actual block contents (bytearrays) so that coherence correctness —
+in particular FSLite's byte-level merge on privatization termination — can be
+verified against real data. Timing is a fixed access latency; DRAM banking
+is out of scope (see DESIGN.md non-goals).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class MainMemory:
+    """Backing store keyed by block base address."""
+
+    def __init__(self, block_size: int, latency: int, fill_byte: int = 0) -> None:
+        self.block_size = block_size
+        self.latency = latency
+        self._fill_byte = fill_byte
+        self._blocks: Dict[int, bytearray] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def read_block(self, block_addr: int) -> bytearray:
+        """Return a *copy* of the block's contents."""
+        self.reads += 1
+        return bytearray(self._peek(block_addr))
+
+    def write_block(self, block_addr: int, data: bytes) -> None:
+        """Overwrite the whole block."""
+        if len(data) != self.block_size:
+            raise ValueError(
+                f"block write must be {self.block_size} bytes, got {len(data)}"
+            )
+        self.writes += 1
+        self._blocks[block_addr] = bytearray(data)
+
+    def peek_block(self, block_addr: int) -> bytes:
+        """Non-timed, non-counted read for checkers and tests."""
+        return bytes(self._peek(block_addr))
+
+    def poke(self, addr: int, data: bytes) -> None:
+        """Non-timed byte write for initialisation in tests/workloads."""
+        for i, byte in enumerate(data):
+            block = self._peek_mut((addr + i) // self.block_size * self.block_size)
+            block[(addr + i) % self.block_size] = byte
+
+    def peek(self, addr: int, size: int) -> bytes:
+        """Non-timed byte read for checkers and tests."""
+        out = bytearray()
+        for i in range(size):
+            block = self._peek((addr + i) // self.block_size * self.block_size)
+            out.append(block[(addr + i) % self.block_size])
+        return bytes(out)
+
+    def _peek(self, block_addr: int) -> bytearray:
+        return self._blocks.get(
+            block_addr, bytearray([self._fill_byte] * self.block_size)
+        )
+
+    def _peek_mut(self, block_addr: int) -> bytearray:
+        if block_addr not in self._blocks:
+            self._blocks[block_addr] = bytearray(
+                [self._fill_byte] * self.block_size
+            )
+        return self._blocks[block_addr]

@@ -1,0 +1,61 @@
+"""A small write buffer.
+
+Two users:
+
+* L1 controllers park evicted dirty blocks here until the directory
+  acknowledges the writeback — this is what makes the *phantom message*
+  race of Section V-D possible (a late intervention finds the block in the
+  writeback buffer, not the cache).
+* LLC slices park evicted PRV blocks here while collecting ``Prv_WB``
+  responses so the byte-merge can complete before the block goes to memory
+  (Section V-C, "Eviction of a Directory Entry or LLC Block").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class WriteBufferEntry:
+    block_addr: int
+    data: bytearray
+    dirty: bool = True
+    #: Number of outstanding responses still expected (PRV merge use).
+    pending_responses: int = 0
+    #: Arbitrary per-entry annotations (e.g. last-writer map snapshots).
+    meta: dict = field(default_factory=dict)
+
+
+class WriteBuffer:
+    """Address-indexed buffer of in-flight block writebacks."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        self.capacity = capacity
+        self._entries: Dict[int, WriteBufferEntry] = {}
+        self.inserts = 0
+        self.peak_occupancy = 0
+
+    def insert(self, block_addr: int, data: bytearray, **meta) -> WriteBufferEntry:
+        if block_addr in self._entries:
+            raise ValueError(f"block {block_addr:#x} already buffered")
+        if len(self._entries) >= self.capacity:
+            raise OverflowError("write buffer full")
+        entry = WriteBufferEntry(block_addr=block_addr, data=data, meta=meta)
+        self._entries[block_addr] = entry
+        self.inserts += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        return entry
+
+    def get(self, block_addr: int) -> Optional[WriteBufferEntry]:
+        return self._entries.get(block_addr)
+
+    def remove(self, block_addr: int) -> WriteBufferEntry:
+        return self._entries.pop(block_addr)
+
+    def __contains__(self, block_addr: int) -> bool:
+        return block_addr in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

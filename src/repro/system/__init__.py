@@ -1,0 +1,7 @@
+"""Whole-machine assembly: builder, simulator driver, statistics."""
+
+from repro.system.builder import Machine, build_machine
+from repro.system.simulator import RunResult, Simulator
+from repro.system.stats import SimStats
+
+__all__ = ["Machine", "build_machine", "RunResult", "Simulator", "SimStats"]

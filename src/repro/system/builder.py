@@ -1,0 +1,92 @@
+"""Machine assembly: cores, L1s, network, directory slices, memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.common.addr import slice_index
+from repro.common.config import SystemConfig
+from repro.common.events import EventQueue
+from repro.coherence.directory import DirectorySlice
+from repro.coherence.l1_controller import L1Controller
+from repro.coherence.states import ProtocolMode
+from repro.cpu.core import InOrderCore, ThreadProgram
+from repro.cpu.ooo import OutOfOrderCore
+from repro.interconnect.network import Network
+from repro.memsys.main_memory import MainMemory
+
+
+@dataclass
+class Machine:
+    """A fully wired simulated multicore."""
+
+    config: SystemConfig
+    mode: ProtocolMode
+    queue: EventQueue
+    network: Network
+    memory: MainMemory
+    l1s: List[L1Controller]
+    slices: List[DirectorySlice]
+    cores: list = field(default_factory=list)
+
+    def home_slice(self, block_addr: int) -> DirectorySlice:
+        return self.slices[slice_index(
+            block_addr, self.config.block_size, len(self.slices))]
+
+    def attach_programs(
+        self,
+        programs: List[ThreadProgram],
+        core_model: str = "inorder",
+        ooo_window: int = 8,
+    ) -> None:
+        """Bind one thread program per core (programs may be fewer than
+        cores; extra cores stay idle)."""
+        if len(programs) > self.config.num_cores:
+            raise ValueError(
+                f"{len(programs)} programs for {self.config.num_cores} cores")
+        self.cores = []
+        for core_id, program in enumerate(programs):
+            if core_model == "inorder":
+                core = InOrderCore(core_id, self.queue, self.l1s[core_id],
+                                   program)
+            elif core_model == "ooo":
+                core = OutOfOrderCore(core_id, self.queue, self.l1s[core_id],
+                                      program, window=ooo_window)
+            else:
+                raise ValueError(f"unknown core model {core_model!r}")
+            self.cores.append(core)
+
+    def all_reports(self):
+        reports = []
+        for sl in self.slices:
+            reports.extend(sl.reports)
+        return reports
+
+
+def build_machine(config: SystemConfig, mode: ProtocolMode = ProtocolMode.MESI,
+                  queue: Optional[EventQueue] = None) -> Machine:
+    """Construct a machine per ``config`` running protocol ``mode``."""
+    queue = queue or EventQueue()
+    network = Network(queue, latency=config.network_latency,
+                      ordered_source_min=config.num_cores)
+    memory = MainMemory(block_size=config.block_size,
+                        latency=config.memory_latency)
+
+    def home_of(block_addr: int) -> int:
+        return config.num_cores + slice_index(
+            block_addr, config.block_size, config.num_llc_slices)
+
+    l1s = [
+        L1Controller(core_id, config, mode, queue, network, home_of)
+        for core_id in range(config.num_cores)
+    ]
+    slices = [
+        DirectorySlice(
+            slice_id=i, node_id=config.num_cores + i, config=config,
+            mode=mode, queue=queue, network=network, memory=memory,
+            num_slices=config.num_llc_slices)
+        for i in range(config.num_llc_slices)
+    ]
+    return Machine(config=config, mode=mode, queue=queue, network=network,
+                   memory=memory, l1s=l1s, slices=slices)

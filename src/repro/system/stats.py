@@ -1,0 +1,99 @@
+"""Aggregated simulation statistics.
+
+Collects per-core L1 stats, directory/slice stats, network traffic and the
+energy breakdown into one flat record that the harness turns into the
+paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.interconnect.message import MessageClass
+
+
+@dataclass
+class SimStats:
+    cycles: int = 0
+    per_core: List[Dict[str, int]] = field(default_factory=list)
+    per_slice: List[Dict[str, int]] = field(default_factory=list)
+    network: Dict[str, int] = field(default_factory=dict)
+    energy: Dict[str, float] = field(default_factory=dict)
+    reports: List[Any] = field(default_factory=list)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    # -- core aggregates ---------------------------------------------------
+
+    def _core_sum(self, key: str) -> int:
+        return sum(core.get(key, 0) for core in self.per_core)
+
+    def _slice_sum(self, key: str) -> int:
+        return sum(s.get(key, 0) for s in self.per_slice)
+
+    @property
+    def accesses(self) -> int:
+        return (self._core_sum("loads") + self._core_sum("stores")
+                + self._core_sum("rmws"))
+
+    @property
+    def l1_misses(self) -> int:
+        return self._core_sum("misses") + self._core_sum("chk_misses")
+
+    @property
+    def l1_miss_rate(self) -> float:
+        accesses = self.accesses
+        return self.l1_misses / accesses if accesses else 0.0
+
+    @property
+    def l1_requests(self) -> int:
+        """Request messages originating from the L1 caches."""
+        return (self._core_sum("get_sent") + self._core_sum("getx_sent")
+                + self._core_sum("upgrade_sent") + self._core_sum("chk_sent"))
+
+    @property
+    def metadata_messages(self) -> int:
+        return self.network.get(f"msgs_{MessageClass.METADATA.value}", 0)
+
+    @property
+    def inv_intervention_messages(self) -> int:
+        return self.network.get(
+            f"msgs_{MessageClass.INV_INTERVENTION.value}", 0)
+
+    @property
+    def total_messages(self) -> int:
+        return self.network.get("msgs_total", 0)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.network.get("bytes_total", 0)
+
+    @property
+    def privatizations(self) -> int:
+        return self._slice_sum("privatizations")
+
+    @property
+    def terminations(self) -> Dict[str, int]:
+        causes = ("conflict", "llc_eviction", "sam_eviction",
+                  "external_socket", "init_abort")
+        return {c: self._slice_sum(f"term_{c}") for c in causes}
+
+    @property
+    def energy_nj(self) -> float:
+        return self.energy.get("total_nj", 0.0)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "cycles": self.cycles,
+            "accesses": self.accesses,
+            "l1_miss_rate": round(self.l1_miss_rate, 5),
+            "l1_requests": self.l1_requests,
+            "messages": self.total_messages,
+            "bytes": self.total_bytes,
+            "metadata_messages": self.metadata_messages,
+            "inv_interventions": self.inv_intervention_messages,
+            "privatizations": self.privatizations,
+            "terminations": self.terminations,
+            "fs_reports": len(self.reports),
+            "energy_nj": round(self.energy_nj, 1),
+        }

@@ -1,0 +1,124 @@
+"""Structured coherence-message tracing.
+
+Attach a :class:`MessageTracer` to a machine to capture interconnect
+traffic with filters (block, message type, time window) — the tool behind
+``examples/protocol_anatomy.py`` and handy for debugging protocol issues
+in downstream work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Set
+
+from repro.interconnect.message import Message, MessageType
+from repro.system.builder import Machine
+
+#: The FSLite-specific message vocabulary (for quick filtering).
+FSLITE_TYPES: Set[MessageType] = {
+    MessageType.TR_PRV, MessageType.DATA_PRV, MessageType.UPG_ACK_PRV,
+    MessageType.GETCHK, MessageType.GETXCHK, MessageType.ACK_PRV,
+    MessageType.INV_PRV, MessageType.PRV_WB, MessageType.CTRL_WB,
+    MessageType.REP_MD, MessageType.PHANTOM_MD,
+}
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    cycle: int
+    mtype: MessageType
+    src: int
+    dst: int
+    block_addr: int
+    size_bytes: int
+
+    def format(self, num_cores: int) -> str:
+        def name(node: int) -> str:
+            return (f"core{node}" if node < num_cores
+                    else f"dir{node - num_cores}")
+        return (f"{self.cycle:8d}  {self.mtype.name:12s} "
+                f"{name(self.src):7s} -> {name(self.dst):7s} "
+                f"blk={self.block_addr:#x}")
+
+
+class MessageTracer:
+    """Wraps a machine's network send to record matching messages."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        blocks: Optional[Iterable[int]] = None,
+        types: Optional[Iterable[MessageType]] = None,
+        predicate: Optional[Callable[[Message], bool]] = None,
+        limit: int = 100_000,
+    ) -> None:
+        self.machine = machine
+        self.blocks = set(blocks) if blocks is not None else None
+        self.types = set(types) if types is not None else None
+        self.predicate = predicate
+        self.limit = limit
+        self.entries: List[TraceEntry] = []
+        self.dropped = 0
+        self._original_send = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self) -> "MessageTracer":
+        if self._original_send is not None:
+            raise RuntimeError("tracer already attached")
+        self._original_send = self.machine.network.send
+
+        def traced(msg: Message, extra_delay: int = 0) -> None:
+            if self._matches(msg):
+                if len(self.entries) < self.limit:
+                    self.entries.append(TraceEntry(
+                        cycle=self.machine.queue.now, mtype=msg.mtype,
+                        src=msg.src, dst=msg.dst,
+                        block_addr=msg.block_addr,
+                        size_bytes=msg.size_bytes))
+                else:
+                    self.dropped += 1
+            self._original_send(msg, extra_delay)
+
+        self.machine.network.send = traced
+        return self
+
+    def detach(self) -> None:
+        if self._original_send is not None:
+            self.machine.network.send = self._original_send
+            self._original_send = None
+
+    def __enter__(self) -> "MessageTracer":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- filtering / queries ---------------------------------------------------
+
+    def _matches(self, msg: Message) -> bool:
+        if self.blocks is not None and msg.block_addr not in self.blocks:
+            return False
+        if self.types is not None and msg.mtype not in self.types:
+            return False
+        if self.predicate is not None and not self.predicate(msg):
+            return False
+        return True
+
+    def of_type(self, *types: MessageType) -> List[TraceEntry]:
+        wanted = set(types)
+        return [e for e in self.entries if e.mtype in wanted]
+
+    def between(self, start: int, end: int) -> List[TraceEntry]:
+        return [e for e in self.entries if start <= e.cycle <= end]
+
+    def render(self, max_lines: Optional[int] = None) -> str:
+        cores = self.machine.config.num_cores
+        entries = self.entries[:max_lines] if max_lines else self.entries
+        lines = [e.format(cores) for e in entries]
+        if max_lines and len(self.entries) > max_lines:
+            lines.append(f"... {len(self.entries) - max_lines} more")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.entries)

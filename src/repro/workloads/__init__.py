@@ -1,0 +1,25 @@
+"""Benchmark proxies (Table III) and correctness microbenchmarks.
+
+Each workload reproduces the *sharing pattern* of its namesake benchmark —
+same data layout at cache-line granularity, same synchronisation idiom,
+calibrated access mix — as documented per class and in DESIGN.md §5.
+"""
+
+from repro.workloads.base import Workload, WorkloadResultError
+from repro.workloads.layout import MemoryLayout
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    FS_WORKLOADS,
+    NO_FS_WORKLOADS,
+    make_workload,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadResultError",
+    "MemoryLayout",
+    "ALL_WORKLOADS",
+    "FS_WORKLOADS",
+    "NO_FS_WORKLOADS",
+    "make_workload",
+]

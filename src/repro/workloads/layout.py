@@ -1,0 +1,56 @@
+"""Memory layout allocation for workloads.
+
+The allocator hands out addresses in a flat region. ``alloc_slots`` is the
+heart of every false-sharing workload: *packed* places per-thread slots
+consecutively (so several land in one cache line — the bug), *padded*
+places one slot per cache line (the manual fix, inflating the working set).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class MemoryLayout:
+    """A bump allocator over the simulated physical address space."""
+
+    def __init__(self, base: int = 0x100000, block_size: int = 64) -> None:
+        self.block_size = block_size
+        self._cursor = base
+        self.allocations: dict = {}
+
+    def _align(self, align: int) -> None:
+        if align > 1:
+            self._cursor = (self._cursor + align - 1) & ~(align - 1)
+
+    def alloc(self, name: str, size: int, align: int = 8) -> int:
+        """Allocate ``size`` bytes; returns the base address."""
+        self._align(align)
+        addr = self._cursor
+        self._cursor += size
+        self.allocations[name] = (addr, size)
+        return addr
+
+    def alloc_line(self, name: str) -> int:
+        """Allocate one whole cache line, line-aligned."""
+        return self.alloc(name, self.block_size, align=self.block_size)
+
+    def alloc_slots(self, name: str, count: int, slot_size: int,
+                    padded: bool) -> List[int]:
+        """Per-thread slots: packed (falsely shared) or padded (repaired)."""
+        if padded:
+            base = self.alloc(name, count * self.block_size,
+                              align=self.block_size)
+            return [base + i * self.block_size for i in range(count)]
+        base = self.alloc(name, count * slot_size, align=self.block_size)
+        return [base + i * slot_size for i in range(count)]
+
+    def alloc_private(self, name: str, size: int) -> int:
+        """A thread-private region, line-aligned and padded on both sides so
+        it can never falsely share with neighbours."""
+        self._align(self.block_size)
+        addr = self._cursor
+        self._cursor += size
+        self._align(self.block_size)
+        self.allocations[name] = (addr, size)
+        return addr

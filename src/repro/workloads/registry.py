@@ -1,0 +1,61 @@
+"""Workload registry: tag -> class, plus the paper's groupings."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.workloads.base import Workload
+from repro.workloads.parsec import (
+    Blackscholes,
+    Bodytrack,
+    Canneal,
+    Facesim,
+    Fluidanimate,
+    StreamCluster,
+    Swaptions,
+)
+from repro.workloads.phoenix import LinearRegression, StringMatch
+from repro.workloads.synchrobench import EstmSfTree
+from repro.workloads.synthetic import (
+    InitThenPartition,
+    InterspersedSharing,
+    ManyLinePingPong,
+    ReadWritePingPong,
+    TrueSharingCounter,
+    WriteWritePingPong,
+)
+from repro.workloads.toys import (
+    BoostSpinlock,
+    LocklessToy,
+    LockedToy,
+    ReferenceCount,
+)
+
+_CLASSES: List[Type[Workload]] = [
+    BoostSpinlock, LocklessToy, LinearRegression, LockedToy,
+    ReferenceCount, StreamCluster, EstmSfTree, StringMatch,
+    Blackscholes, Bodytrack, Canneal, Facesim, Fluidanimate, Swaptions,
+    WriteWritePingPong, ReadWritePingPong, TrueSharingCounter,
+    InitThenPartition, InterspersedSharing, ManyLinePingPong,
+]
+
+REGISTRY: Dict[str, Type[Workload]] = {cls.tag: cls for cls in _CLASSES}
+
+#: Table III order: the eight applications with false sharing.
+FS_WORKLOADS = ["BS", "LL", "LR", "LT", "RC", "SC", "SF", "SM"]
+#: Table III order: the six applications without false sharing.
+NO_FS_WORKLOADS = ["BL", "BO", "CA", "FA", "FL", "SW"]
+ALL_WORKLOADS = FS_WORKLOADS + NO_FS_WORKLOADS
+MICROBENCHMARKS = ["ww", "rw", "ts", "ip", "is", "ml"]
+
+
+def make_workload(tag: str, num_threads: int = 4, scale: float = 1.0,
+                  layout: str = "packed", seed: int = 0) -> Workload:
+    """Instantiate a workload by its two-letter tag (see Table III)."""
+    try:
+        cls = REGISTRY[tag]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {tag!r}; choose from {sorted(REGISTRY)}"
+        ) from None
+    return cls(num_threads=num_threads, scale=scale, layout=layout, seed=seed)

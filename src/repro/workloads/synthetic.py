@@ -1,0 +1,205 @@
+"""Correctness microbenchmarks (the paper evaluates protocol correctness on
+Feather's microbenchmarks and custom ones; these are ours).
+
+Each class isolates one protocol behaviour so tests can assert on it:
+write-write false sharing, read-write false sharing, pure true sharing,
+the init-then-partition pattern, interspersed true/false sharing (the
+hysteresis stressor), and multi-line false sharing (SAM pressure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cpu.ops import compute, fetch_add, load, store
+from repro.workloads.base import Workload
+
+
+class WriteWritePingPong(Workload):
+    """Pure write-write false sharing: each thread hammers its own word."""
+
+    tag = "ww"
+    has_false_sharing = True
+    DEFAULT_ITERS = 300
+
+    def _build_layout(self) -> None:
+        self.slots = self.layout.alloc_slots(
+            "slots", self.num_threads, 4, padded=self._slots_padded(0))
+
+    def thread_program(self, tid: int):
+        iters = self.iterations(self.DEFAULT_ITERS)
+        slot = self.slots[tid]
+
+        def prog():
+            for i in range(iters):
+                yield store(slot, i + 1)
+                yield compute(3)
+        return prog()
+
+    def verify(self, image: Dict[int, bytes]) -> None:
+        iters = self.iterations(self.DEFAULT_ITERS)
+        for tid in range(self.num_threads):
+            got = self.read_u32(image, self.slots[tid])
+            self.expect(got == iters, f"slot[{tid}]={got}, want {iters}")
+
+
+class ReadWritePingPong(Workload):
+    """Read-write false sharing: thread 0 writes its word, others read
+    *their own* distinct words of the same line."""
+
+    tag = "rw"
+    has_false_sharing = True
+    DEFAULT_ITERS = 300
+
+    def _build_layout(self) -> None:
+        self.slots = self.layout.alloc_slots(
+            "slots", self.num_threads, 4, padded=self._slots_padded(0))
+
+    def thread_program(self, tid: int):
+        iters = self.iterations(self.DEFAULT_ITERS)
+        slot = self.slots[tid]
+
+        def prog():
+            for i in range(iters):
+                if tid == 0:
+                    yield store(slot, i + 1)
+                else:
+                    yield load(slot)
+                yield compute(3)
+        return prog()
+
+    def verify(self, image: Dict[int, bytes]) -> None:
+        iters = self.iterations(self.DEFAULT_ITERS)
+        got = self.read_u32(image, self.slots[0])
+        self.expect(got == iters, f"slot[0]={got}, want {iters}")
+
+
+class TrueSharingCounter(Workload):
+    """All threads atomically increment the SAME word: true sharing that
+    must never be privatized."""
+
+    tag = "ts"
+    has_false_sharing = False
+    DEFAULT_ITERS = 300
+
+    def _build_layout(self) -> None:
+        self.counter = self.layout.alloc_line("counter")
+
+    def thread_program(self, tid: int):
+        iters = self.iterations(self.DEFAULT_ITERS)
+
+        def prog():
+            for _ in range(iters):
+                yield fetch_add(self.counter, 1, size=8)
+                yield compute(3)
+        return prog()
+
+    def verify(self, image: Dict[int, bytes]) -> None:
+        want = self.num_threads * self.iterations(self.DEFAULT_ITERS)
+        got = self.read_u64(image, self.counter)
+        self.expect(got == want, f"counter={got}, want {want}")
+
+
+class InitThenPartition(Workload):
+    """Section VI data-initialization pattern: thread 0 writes every slot
+    once, then all threads hammer their own slots. Without the τR resets
+    the initial write-write "true sharing" would block privatization."""
+
+    tag = "ip"
+    has_false_sharing = True
+    DEFAULT_ITERS = 400
+
+    def _build_layout(self) -> None:
+        self.slots = self.layout.alloc_slots(
+            "slots", self.num_threads, 8, padded=self._slots_padded(0))
+        self.start_flag = self.layout.alloc_line("start_flag")
+
+    def thread_program(self, tid: int):
+        iters = self.iterations(self.DEFAULT_ITERS)
+        slot = self.slots[tid]
+
+        def prog():
+            if tid == 0:
+                for t in range(self.num_threads):
+                    yield store(self.slots[t], 0, size=8)
+                yield store(self.start_flag, 1)
+            else:
+                while True:
+                    flag = yield load(self.start_flag)
+                    if flag:
+                        break
+                    yield compute(20)
+            for i in range(iters):
+                yield store(slot, i + 1, size=8)
+                yield compute(3)
+        return prog()
+
+    def verify(self, image: Dict[int, bytes]) -> None:
+        iters = self.iterations(self.DEFAULT_ITERS)
+        for tid in range(self.num_threads):
+            got = self.read_u64(image, self.slots[tid])
+            self.expect(got == iters, f"slot[{tid}]={got}, want {iters}")
+
+
+class InterspersedSharing(Workload):
+    """Alternating false/true sharing phases: threads mostly update their
+    own slots but periodically write a *common* word. Stresses repeated
+    privatize/terminate cycles; the hysteresis counter should dampen them."""
+
+    tag = "is"
+    has_false_sharing = True
+    DEFAULT_ITERS = 400
+    TRUE_EVERY = 12
+
+    def _build_layout(self) -> None:
+        self.slots = self.layout.alloc_slots(
+            "slots", self.num_threads, 8, padded=self._slots_padded(0))
+        self.shared = self.layout.alloc_line("shared_word")
+
+    def thread_program(self, tid: int):
+        iters = self.iterations(self.DEFAULT_ITERS)
+        slot = self.slots[tid]
+
+        def prog():
+            for i in range(iters):
+                yield store(slot, i + 1, size=8)
+                yield compute(3)
+                if i % self.TRUE_EVERY == self.TRUE_EVERY - 1:
+                    yield fetch_add(self.shared, 1, size=8)
+        return prog()
+
+    def verify(self, image: Dict[int, bytes]) -> None:
+        iters = self.iterations(self.DEFAULT_ITERS)
+        for tid in range(self.num_threads):
+            got = self.read_u64(image, self.slots[tid])
+            self.expect(got == iters, f"slot[{tid}]={got}, want {iters}")
+        want = self.num_threads * (iters // self.TRUE_EVERY)
+        got = self.read_u64(image, self.shared)
+        self.expect(got == want, f"shared={got}, want {want}")
+
+
+class ManyLinePingPong(Workload):
+    """False sharing spread over many distinct lines at once: pressures the
+    SAM table's capacity (Section VIII-B SAM-size study)."""
+
+    tag = "ml"
+    has_false_sharing = True
+    DEFAULT_ITERS = 200
+    LINES = 64
+
+    def _build_layout(self) -> None:
+        self.lines = [
+            self.layout.alloc_slots(f"line{i}", self.num_threads, 8,
+                                    padded=self._slots_padded(0))
+            for i in range(self.LINES)
+        ]
+
+    def thread_program(self, tid: int):
+        iters = self.iterations(self.DEFAULT_ITERS)
+
+        def prog():
+            for i in range(iters):
+                line = self.lines[i % self.LINES]
+                yield store(line[tid], i + 1, size=8)
+                yield compute(2)
+        return prog()

@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.coherence.states import ProtocolMode
+from repro.common.config import CacheConfig, SystemConfig
+from repro.system.builder import Machine, build_machine
+from repro.system.simulator import RunResult, Simulator, flush_machine_memory
+
+
+def small_config(**overrides) -> SystemConfig:
+    """A 4-core machine with small caches: fast and eviction-prone."""
+    defaults = dict(
+        num_cores=4,
+        l1=CacheConfig(size_bytes=4 * 1024, associativity=4),
+        llc=CacheConfig(size_bytes=256 * 1024, associativity=8,
+                        tag_latency=2, data_latency=8),
+        num_llc_slices=2,
+        network_latency=8,
+        memory_latency=60,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def run_programs(programs, mode=ProtocolMode.MESI, config=None,
+                 core_model="inorder", **kwargs):
+    """Build a machine, attach programs, run, return (result, machine)."""
+    config = config or small_config()
+    machine = build_machine(config, mode)
+    machine.attach_programs(programs, core_model=core_model, **kwargs)
+    result = Simulator(machine).run()
+    return result, machine
+
+
+def memory_image(machine: Machine):
+    return flush_machine_memory(machine)
+
+
+def read_u(image, addr: int, size: int = 4, block_size: int = 64) -> int:
+    block = addr & ~(block_size - 1)
+    data = image.get(block, bytes(block_size))
+    off = addr - block
+    return int.from_bytes(data[off:off + size], "little")

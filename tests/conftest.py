@@ -1,0 +1,10 @@
+"""Pytest fixtures for the test suite (helpers live in _helpers.py)."""
+
+import pytest
+
+from _helpers import small_config
+
+
+@pytest.fixture
+def config():
+    return small_config()

@@ -1,0 +1,52 @@
+"""Unit tests for bit-vector helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.common.bitvec import bit_count, bits_set, iter_set_bits, mask_for_range
+
+
+class TestMaskForRange:
+    def test_simple(self):
+        assert mask_for_range(0, 4) == 0xF
+
+    def test_offset(self):
+        assert mask_for_range(4, 4) == 0xF0
+
+    def test_zero_length(self):
+        assert mask_for_range(5, 0) == 0
+
+
+class TestBitCount:
+    def test_zero(self):
+        assert bit_count(0) == 0
+
+    def test_full_byte(self):
+        assert bit_count(0xFF) == 8
+
+    @given(st.integers(min_value=0, max_value=2**128))
+    def test_matches_bin_count(self, v):
+        assert bit_count(v) == bin(v).count("1")
+
+
+class TestBitsSet:
+    def test_subset(self):
+        assert bits_set(0xFF, 0x0F)
+
+    def test_not_subset(self):
+        assert not bits_set(0xF0, 0x0F)
+
+    def test_empty_mask(self):
+        assert bits_set(0, 0)
+
+
+class TestIterSetBits:
+    def test_empty(self):
+        assert list(iter_set_bits(0)) == []
+
+    def test_bits(self):
+        assert list(iter_set_bits(0b1011)) == [0, 1, 3]
+
+    @given(st.sets(st.integers(min_value=0, max_value=200)))
+    def test_roundtrip(self, indices):
+        value = sum(1 << i for i in indices)
+        assert set(iter_set_bits(value)) == indices

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "RC" in out and "fig14" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "ww", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+
+    def test_run_fslite_csv(self, capsys, tmp_path):
+        path = tmp_path / "r.csv"
+        assert main(["run", "ww", "--protocol", "fslite", "--scale", "0.1",
+                     "--csv", str(path)]) == 0
+        assert path.exists()
+
+    def test_compare(self, capsys):
+        assert main(["compare", "ww", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "fslite" in out and "manual-fix" in out
+
+    def test_detect(self, capsys):
+        assert main(["detect", "ww", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "false-sharing instance" in out
+
+    def test_detect_contended(self, capsys):
+        assert main(["detect", "ts", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "contended truly-shared" in out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "PAM" in out
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nope"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_run_ooo_core(self, capsys):
+        assert main(["run", "ww", "--core", "ooo", "--scale", "0.1"]) == 0

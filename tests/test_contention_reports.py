@@ -1,0 +1,93 @@
+"""Tests for the Section VII extensions: contended-line and conflict
+reporting (utility beyond false sharing)."""
+
+from repro.coherence.states import ProtocolMode
+from repro.cpu.ops import compute, fetch_add, load, store
+
+from _helpers import run_programs
+
+
+def contended_counter(n):
+    def prog():
+        for _ in range(n):
+            yield fetch_add(0x8000, 1, size=8)
+            yield compute(3)
+    return prog()
+
+
+class TestContendedLineReports:
+    def test_contended_sync_variable_reported(self):
+        result, machine = run_programs(
+            [contended_counter(250) for _ in range(4)],
+            mode=ProtocolMode.FSDETECT)
+        contended = result.stats.extra["contended_lines"]
+        assert contended, "contended true-shared line not reported"
+        assert all(r.block_addr == 0x8000 for r in contended)
+        assert any(len(r.cores) >= 2 for r in contended)
+        assert "truly shared and contended" in str(contended[0])
+
+    def test_not_reported_under_fslite_for_false_sharing(self):
+        def writer(tid):
+            def prog():
+                for i in range(250):
+                    yield store(0x9000 + 8 * tid, i, size=8)
+                    yield compute(2)
+            return prog()
+        result, _ = run_programs([writer(t) for t in range(4)],
+                                 mode=ProtocolMode.FSLITE)
+        # Disjoint accesses: no contended-true-sharing reports.
+        assert result.stats.extra["contended_lines"] == []
+
+    def test_uncontended_line_not_reported(self):
+        def prog():
+            for i in range(100):
+                yield store(0xA000, i)
+                yield compute(2)
+        result, _ = run_programs([prog()], mode=ProtocolMode.FSDETECT)
+        assert result.stats.extra["contended_lines"] == []
+
+
+class TestConflictLog:
+    def test_conflicts_recorded_with_masks(self):
+        def writer():
+            def prog():
+                for i in range(60):
+                    yield store(0xB000, i)
+                    yield compute(3)
+            return prog()
+
+        def reader():
+            def prog():
+                for _ in range(60):
+                    yield load(0xB000)
+                    yield compute(3)
+            return prog()
+        result, _ = run_programs([writer(), reader()],
+                                 mode=ProtocolMode.FSDETECT)
+        conflicts = result.stats.extra["true_sharing_conflicts"]
+        assert conflicts
+        # The conflicting granules are the written word's bytes.
+        assert all(c.granule_mask & 0xF for c in conflicts)
+        assert all(c.block_addr == 0xB000 for c in conflicts)
+        assert "conflicting on block" in str(conflicts[0])
+
+    def test_no_conflicts_for_disjoint_accesses(self):
+        def writer(tid):
+            def prog():
+                for i in range(100):
+                    yield store(0xC000 + 8 * tid, i, size=8)
+                    yield compute(2)
+            return prog()
+        result, _ = run_programs([writer(t) for t in range(4)],
+                                 mode=ProtocolMode.FSDETECT)
+        assert result.stats.extra["true_sharing_conflicts"] == []
+
+    def test_log_bounded(self):
+        from repro.common.config import ProtocolConfig
+        from repro.core.fsdetect import FalseSharingDetector
+        det = FalseSharingDetector(ProtocolConfig(), 64, 4)
+        det.conflict_log_limit = 5
+        for i in range(20):
+            det.ingest_md(0x1000, 0, 0, 0b1)
+            det.ingest_md(0x1000, 1, 0, 0b1)
+        assert len(det.conflict_log) == 5

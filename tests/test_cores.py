@@ -1,0 +1,150 @@
+"""Tests of the core models (in-order and out-of-order)."""
+
+import pytest
+
+from repro.coherence.states import ProtocolMode
+from repro.common.errors import WorkloadError
+from repro.cpu.ops import compute, fence, fetch_add, load, store
+
+from _helpers import memory_image, read_u, run_programs
+
+
+class TestInOrder:
+    def test_compute_advances_time(self):
+        def prog():
+            yield compute(100)
+        result, machine = run_programs([prog()])
+        assert result.cycles >= 100
+
+    def test_blocks_on_each_memory_op(self):
+        """In-order: N dependent misses serialize fully."""
+        def prog():
+            for i in range(4):
+                yield load(0x10000 + i * 4096)
+        result, _ = run_programs([prog()])
+        # Each cold miss costs at least memory latency (60 in small_config).
+        assert result.cycles >= 4 * 60
+
+    def test_stats(self):
+        def prog():
+            yield load(0x1000)
+            yield store(0x1000, 1)
+            yield compute(10)
+        result, machine = run_programs([prog()])
+        core = machine.cores[0]
+        assert core.ops_executed == 3
+        assert core.mem_ops == 2
+        assert core.compute_cycles == 10
+        assert core.mem_stall_cycles > 0
+        assert core.done
+
+    def test_fence_is_noop(self):
+        def prog():
+            yield store(0x1000, 1)
+            yield fence()
+            v = yield load(0x1000)
+            assert v == 1
+        run_programs([prog()])
+
+    def test_bad_yield_rejected(self):
+        def prog():
+            yield "not an op"
+        with pytest.raises(WorkloadError):
+            run_programs([prog()])
+
+    def test_empty_program(self):
+        def prog():
+            return
+            yield  # pragma: no cover
+        result, _ = run_programs([prog()])
+        assert result.cycles == 0
+
+
+class TestOutOfOrder:
+    def test_independent_misses_overlap(self):
+        """OoO hides miss latency for independent accesses."""
+        def prog(need=False):
+            for i in range(8):
+                yield load(0x10000 + i * 4096, need_value=need)
+        inorder, _ = run_programs([prog(need=True)])
+        ooo, _ = run_programs([prog(need=False)], core_model="ooo")
+        assert ooo.cycles < inorder.cycles * 0.55
+
+    def test_window_limits_overlap(self):
+        def prog():
+            for i in range(16):
+                yield load(0x10000 + i * 4096, need_value=False)
+        wide, _ = run_programs([prog()], core_model="ooo", ooo_window=8)
+
+        def prog2():
+            for i in range(16):
+                yield load(0x10000 + i * 4096, need_value=False)
+        narrow, _ = run_programs([prog2()], core_model="ooo", ooo_window=1)
+        assert wide.cycles < narrow.cycles
+
+    def test_dependent_load_serializes(self):
+        """A consumed load value stalls issue (true dependence)."""
+        def prog():
+            total = 0
+            for i in range(6):
+                v = yield load(0x10000 + i * 4096)  # need_value=True
+                total += v
+        result, _ = run_programs([prog()], core_model="ooo")
+        assert result.cycles >= 6 * 60
+
+    def test_fence_drains_window(self):
+        def prog():
+            for i in range(4):
+                yield store(0x10000 + i * 4096, i)
+            yield fence()
+            yield compute(1)
+        result, machine = run_programs([prog()], core_model="ooo")
+        assert machine.cores[0].done
+
+    def test_commit_stalls_accounted(self):
+        def prog():
+            for i in range(8):
+                yield store(0x20000, i)  # same line, serial conflicts
+                yield compute(1)
+        result, machine = run_programs([prog()], core_model="ooo")
+        assert machine.cores[0].commit_stall_cycles > 0
+
+    def test_rmw_is_atomic_under_ooo(self):
+        n = 80
+
+        def prog():
+            for _ in range(n):
+                yield fetch_add(0x5000, 1, size=8)
+        result, machine = run_programs([prog() for _ in range(4)],
+                                       core_model="ooo")
+        img = memory_image(machine)
+        assert read_u(img, 0x5000, size=8) == 4 * n
+
+    def test_program_order_within_slot(self):
+        """Final value must be the program-order-last store even with
+        multiple outstanding ops to a contended line."""
+        def writer(tid):
+            def prog():
+                for i in range(100):
+                    yield store(0x6000 + 8 * tid, i, size=8,)
+                yield store(0x6000 + 8 * tid, 0xFEED, size=8)
+            return prog()
+        result, machine = run_programs(
+            [writer(t) for t in range(4)], core_model="ooo",
+            mode=ProtocolMode.FSLITE)
+        img = memory_image(machine)
+        for t in range(4):
+            assert read_u(img, 0x6000 + 8 * t, size=8) == 0xFEED
+
+    def test_ooo_faster_on_false_sharing(self):
+        """The paper's observation: OoO partially hides FS stalls."""
+        def writer(tid):
+            def prog():
+                for i in range(150):
+                    yield store(0x7000 + 8 * tid, i, size=8)
+                    yield compute(2)
+            return prog()
+        io, _ = run_programs([writer(t) for t in range(4)])
+        oo, _ = run_programs([writer(t) for t in range(4)],
+                             core_model="ooo")
+        assert oo.cycles < io.cycles

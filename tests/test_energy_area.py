@@ -1,0 +1,83 @@
+"""Tests for the energy and area models."""
+
+import pytest
+
+from repro.common.config import EnergyConfig, SystemConfig
+from repro.energy.model import AreaModel, EnergyModel
+
+
+class TestAreaModelTable2:
+    """The paper's Table II storage numbers must fall out exactly."""
+
+    def setup_method(self):
+        self.area = AreaModel(SystemConfig())
+
+    def test_pam_entry_129_bits(self):
+        assert self.area.pam_entry_bits() == 129
+
+    def test_pam_table_8kb(self):
+        kb = self.area.pam_table_bits() / 8 / 1024
+        assert kb == pytest.approx(8.06, abs=0.01)
+
+    def test_sam_entry_769_bits(self):
+        assert self.area.sam_entry_bits(reader_opt=False) == 769
+
+    def test_sam_entry_optimized_577_bits(self):
+        assert self.area.sam_entry_bits(reader_opt=True) == 577
+
+    def test_sam_table_12_7_kb(self):
+        kb = self.area.sam_table_bits(reader_opt=False) / 8 / 1024
+        assert kb == pytest.approx(12.7, abs=0.1)
+
+    def test_sam_table_opt_9_7_kb(self):
+        kb = self.area.sam_table_bits(reader_opt=True) / 8 / 1024
+        assert kb == pytest.approx(9.7, abs=0.1)
+
+    def test_dir_extension_19_bits_and_76kb(self):
+        assert self.area.dir_extension_bits_per_entry() == 19
+        kb = self.area.dir_extension_bits() / 8 / 1024
+        assert kb == pytest.approx(76.0, abs=0.5)
+
+    def test_total_under_5_percent(self):
+        s = self.area.overhead_summary()
+        assert s["overhead_fraction"] < 0.05
+
+    def test_coarse_tracking_shrinks_pam(self):
+        cfg = SystemConfig().with_protocol(tracking_granularity=4)
+        kb = AreaModel(cfg).pam_table_bits() / 8 / 1024
+        assert kb == pytest.approx(2.06, abs=0.05)  # paper: "about 2 KB"
+
+
+class TestEnergyModel:
+    def make(self, metadata=True):
+        return EnergyModel(EnergyConfig(), metadata_enabled=metadata)
+
+    def test_components_sum(self):
+        b = self.make().compute(
+            cycles=1000, l1_reads=10, l1_writes=5, llc_accesses=3,
+            pam_accesses=15, sam_accesses=2, counter_accesses=3,
+            network_bytes=800, dram_accesses=1)
+        parts = b.as_dict()
+        total = sum(v for k, v in parts.items() if k != "total_nj")
+        assert parts["total_nj"] == pytest.approx(total)
+
+    def test_static_scales_with_cycles(self):
+        short = self.make().compute(1000, 0, 0, 0, 0, 0, 0, 0, 0)
+        long = self.make().compute(2000, 0, 0, 0, 0, 0, 0, 0, 0)
+        assert long.static_nj == pytest.approx(2 * short.static_nj)
+
+    def test_metadata_static_only_when_enabled(self):
+        with_md = self.make(metadata=True).compute(1000, 0, 0, 0, 0, 0, 0,
+                                                   0, 0)
+        without = self.make(metadata=False).compute(1000, 0, 0, 0, 0, 0, 0,
+                                                    0, 0)
+        assert with_md.metadata_static_nj > 0
+        assert without.metadata_static_nj == 0
+
+    def test_dram_dominates_per_access(self):
+        cfg = EnergyConfig()
+        assert cfg.dram_access_nj > 10 * cfg.llc_read_nj
+
+    def test_static_total(self):
+        b = self.make().compute(3000, 0, 0, 0, 0, 0, 0, 0, 0)
+        assert b.static_total_nj == b.static_nj + b.metadata_static_nj

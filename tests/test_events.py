@@ -1,0 +1,98 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.events import EventQueue
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(10, lambda: log.append("b"))
+        q.schedule(5, lambda: log.append("a"))
+        q.schedule(20, lambda: log.append("c"))
+        q.run()
+        assert log == ["a", "b", "c"]
+
+    def test_same_time_fires_in_insertion_order(self):
+        q = EventQueue()
+        log = []
+        for i in range(10):
+            q.schedule(7, lambda i=i: log.append(i))
+        q.run()
+        assert log == list(range(10))
+
+    def test_now_advances(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(3, lambda: seen.append(q.now))
+        q.schedule(9, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [3, 9]
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(-1, lambda: None)
+
+    def test_schedule_from_callback(self):
+        q = EventQueue()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 4:
+                q.schedule(2, lambda: chain(n + 1))
+
+        q.schedule(0, lambda: chain(0))
+        q.run()
+        assert log == [0, 1, 2, 3, 4]
+        assert q.now == 8
+
+
+class TestCancel:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        log = []
+        ev = q.schedule(5, lambda: log.append("x"))
+        ev.cancel()
+        q.run()
+        assert log == []
+
+    def test_cancelled_not_counted_empty(self):
+        q = EventQueue()
+        ev = q.schedule(5, lambda: None)
+        ev.cancel()
+        assert q.empty()
+
+
+class TestRunLimits:
+    def test_run_until(self):
+        q = EventQueue()
+        log = []
+        q.schedule(5, lambda: log.append(1))
+        q.schedule(15, lambda: log.append(2))
+        q.run(until=10)
+        assert log == [1]
+        assert q.now == 10
+
+    def test_run_max_events(self):
+        q = EventQueue()
+        log = []
+        for i in range(10):
+            q.schedule(i, lambda i=i: log.append(i))
+        q.run(max_events=3)
+        assert log == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        q = EventQueue()
+        assert q.step() is False
+
+    def test_executed_counter(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(i, lambda: None)
+        q.run()
+        assert q.executed == 5

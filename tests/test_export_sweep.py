@@ -1,0 +1,74 @@
+"""Tests for CSV export and sweep utilities."""
+
+import csv
+import io
+
+from repro.coherence.states import ProtocolMode
+from repro.harness.export import (
+    experiment_to_csv,
+    flatten_record,
+    records_to_csv,
+)
+from repro.harness.runner import run_workload
+from repro.harness.sweep import sweep_l1_size, sweep_protocol_knob
+
+SCALE = 0.1
+
+
+class TestExport:
+    def test_flatten_has_core_fields(self):
+        rec = run_workload("ww", scale=SCALE)
+        row = flatten_record(rec)
+        assert row["tag"] == "ww"
+        assert row["protocol"] == "mesi"
+        assert row["cycles"] == rec.cycles
+        assert "term_conflict" in row
+
+    def test_records_to_csv_roundtrip(self):
+        recs = [run_workload("ww", scale=SCALE),
+                run_workload("ww", ProtocolMode.FSLITE, scale=SCALE)]
+        text = records_to_csv(recs)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["protocol"] == "mesi"
+        assert rows[1]["protocol"] == "fslite"
+        assert int(rows[1]["privatizations"]) >= 1
+
+    def test_records_to_csv_writes_file(self, tmp_path):
+        path = tmp_path / "out.csv"
+        records_to_csv([run_workload("ww", scale=SCALE)], str(path))
+        assert path.exists()
+        assert "cycles" in path.read_text()
+
+    def test_empty_records(self):
+        assert records_to_csv([]) == ""
+
+    def test_experiment_to_csv(self):
+        from repro.harness.experiments import table2_overheads
+        text = experiment_to_csv(table2_overheads())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["structure", "value"]
+        assert len(rows) > 3
+
+
+class TestSweep:
+    def test_protocol_knob_sweep(self):
+        res = sweep_protocol_knob(
+            "tau_p", [16, 64], tags=["ww"], scale=0.3,
+            paired_knobs=lambda v: {"tau_r1": v})
+        assert set(res.records) == {16, 64}
+        rel = res.speedup_vs(16)
+        assert rel[16]["ww"] == 1.0
+        # Higher threshold delays privatization: never faster.
+        assert rel[64]["ww"] <= 1.02
+
+    def test_metric_extraction(self):
+        res = sweep_protocol_knob("tau_p", [16], tags=["ww"], scale=0.2,
+                                  paired_knobs=lambda v: {"tau_r1": v})
+        miss = res.metric(lambda r: r.l1_miss_rate)
+        assert 0 <= miss[16]["ww"] < 1
+
+    def test_l1_size_sweep(self):
+        res = sweep_l1_size([32, 128], tags=["BL"], scale=0.1)
+        assert set(res.records) == {32, 128}
+        assert res.records[32]["BL"].cycles > 0

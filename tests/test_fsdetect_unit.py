@@ -1,0 +1,145 @@
+"""Unit tests for the FSDetect decision engine (Sections IV & VI)."""
+
+from repro.common.config import ProtocolConfig
+from repro.core.fsdetect import FalseSharingDetector
+from repro.core.report import DetectionAction
+
+
+def detector(**overrides):
+    cfg = ProtocolConfig(**overrides)
+    return FalseSharingDetector(cfg, block_size=64, num_cores=4)
+
+
+def cross_thresholds(det, block, n=16):
+    for _ in range(n):
+        det.count_fetch(block)
+    det.count_invalidations(block, n)
+
+
+class TestClassification:
+    def test_below_threshold_none(self):
+        det = detector()
+        det.count_fetch(0x1000)
+        assert det.classify(0x1000) == DetectionAction.NONE
+
+    def test_flags_when_both_cross(self):
+        det = detector()
+        cross_thresholds(det, 0x1000)
+        assert det.classify(0x1000) == DetectionAction.FLAG_FALSE_SHARING
+
+    def test_fc_alone_does_not_flag(self):
+        det = detector(use_metadata_reset=False)
+        for _ in range(20):
+            det.count_fetch(0x1000)
+        assert det.classify(0x1000) == DetectionAction.NONE
+
+    def test_ts_bit_blocks_flag(self):
+        det = detector()
+        det.ingest_md(0x1000, 0, read_bits=0, write_bits=0b1)
+        det.ingest_md(0x1000, 1, read_bits=0, write_bits=0b1)  # TS set
+        cross_thresholds(det, 0x1000)
+        assert det.classify(0x1000) == DetectionAction.RESET_METADATA
+
+    def test_unknown_block_none(self):
+        assert detector().classify(0xDEAD) == DetectionAction.NONE
+
+
+class TestHysteresis:
+    def test_hc_blocks_flag_and_decays(self):
+        det = detector()
+        det.record_conflict_abort(0x1000)
+        assert det.meta_for(0x1000).hc == 1
+        cross_thresholds(det, 0x1000)
+        # HC > 0: reset instead of flag, and HC decays.
+        assert det.classify(0x1000) == DetectionAction.RESET_METADATA
+        assert det.meta_for(0x1000).hc == 0
+        cross_thresholds(det, 0x1000)
+        assert det.classify(0x1000) == DetectionAction.FLAG_FALSE_SHARING
+
+    def test_hysteresis_disabled(self):
+        det = detector(use_hysteresis=False)
+        det.record_conflict_abort(0x1000)
+        cross_thresholds(det, 0x1000)
+        assert det.classify(0x1000) == DetectionAction.FLAG_FALSE_SHARING
+
+    def test_abort_with_hysteresis_off_no_hc(self):
+        det = detector(use_hysteresis=False)
+        det.record_conflict_abort(0x1000)
+        assert det.meta_for(0x1000).hc == 0
+
+
+class TestMetadataReset:
+    def test_tau_r2_reset(self):
+        # FC reaching τR2 with IC lagging resets the metadata (the
+        # data-initialization pattern, Section VI).
+        det = detector(tau_r2=20)
+        det.ingest_md(0x1000, 0, 0, 0b1)
+        det.ingest_md(0x1000, 1, 0, 0b1)  # TS
+        for _ in range(20):
+            det.count_fetch(0x1000)
+        assert det.classify(0x1000) == DetectionAction.RESET_METADATA
+        assert not det.sam.peek(0x1000).ts
+        assert det.meta_for(0x1000).fc == 0
+
+    def test_reset_disabled(self):
+        det = detector(use_metadata_reset=False, tau_r2=20)
+        for _ in range(20):
+            det.count_fetch(0x1000)
+        assert det.classify(0x1000) == DetectionAction.NONE
+
+    def test_reset_counts_stat(self):
+        det = detector()
+        det.apply_reset(0x1000)
+        assert det.metadata_resets == 1
+
+
+class TestMdIngestion:
+    def test_req_md_until_ts(self):
+        det = detector()
+        assert det.should_request_md(0x1000)
+        det.ingest_md(0x1000, 0, 0, 0b1)
+        assert det.should_request_md(0x1000)
+        det.ingest_md(0x1000, 1, 0, 0b1)
+        assert not det.should_request_md(0x1000)
+
+    def test_true_sharing_stat(self):
+        det = detector()
+        det.ingest_md(0x1000, 0, 0, 0b1)
+        det.ingest_md(0x1000, 1, 0b1, 0)
+        assert det.true_sharing_detections == 1
+
+    def test_sam_eviction_surfaced(self):
+        det = detector(sam_sets=1, sam_ways=1)
+        det.ingest_md(0, 0, 0b1, 0)
+        _, evicted_block, evicted_entry = det.ingest_md(64, 0, 0b1, 0)
+        assert evicted_block == 0
+        assert evicted_entry is not None
+
+    def test_ingest_without_allocate(self):
+        det = detector()
+        conflict, evb, eve = det.ingest_md(0, 0, 0b1, 0,
+                                           allow_allocate=False)
+        assert (conflict, evb, eve) == (False, None, None)
+        assert det.sam.peek(0) is None
+
+
+class TestReports:
+    def test_report_captures_cores(self):
+        det = detector()
+        det.ingest_md(0x1000, 0, 0, 0b01)
+        det.ingest_md(0x1000, 2, 0b10, 0)
+        cross_thresholds(det, 0x1000)
+        rep = det.report(0x1000, cycle=123, privatized=True)
+        assert rep.block_addr == 0x1000
+        assert rep.cores == {0, 2}
+        assert rep.privatized
+        assert det.reports == [rep]
+        assert "0x1000" in str(rep)
+
+    def test_drop_meta_clears(self):
+        det = detector()
+        cross_thresholds(det, 0x1000)
+        det.ingest_md(0x1000, 0, 0b1, 0)
+        det.drop_meta(0x1000)
+        assert det.classify(0x1000) == DetectionAction.NONE
+        assert det.sam.peek(0x1000) is None

@@ -1,0 +1,85 @@
+"""Unit tests for main memory and the write buffer."""
+
+import pytest
+
+from repro.memsys.main_memory import MainMemory
+from repro.memsys.write_buffer import WriteBuffer
+
+
+class TestMainMemory:
+    def test_uninitialized_reads_fill_byte(self):
+        mem = MainMemory(block_size=64, latency=100, fill_byte=0)
+        assert mem.read_block(0x1000) == bytearray(64)
+
+    def test_write_read_roundtrip(self):
+        mem = MainMemory(block_size=64, latency=100)
+        data = bytes(range(64))
+        mem.write_block(0x1000, data)
+        assert bytes(mem.read_block(0x1000)) == data
+
+    def test_read_returns_copy(self):
+        mem = MainMemory(block_size=64, latency=100)
+        mem.write_block(0, bytes(64))
+        copy = mem.read_block(0)
+        copy[0] = 0xFF
+        assert mem.peek_block(0)[0] == 0
+
+    def test_partial_write_rejected(self):
+        mem = MainMemory(block_size=64, latency=100)
+        with pytest.raises(ValueError):
+            mem.write_block(0, bytes(32))
+
+    def test_poke_peek_cross_block(self):
+        mem = MainMemory(block_size=64, latency=100)
+        mem.poke(60, bytes([1, 2, 3, 4, 5, 6, 7, 8]))
+        assert mem.peek(60, 8) == bytes([1, 2, 3, 4, 5, 6, 7, 8])
+        assert mem.peek_block(0)[60:] == bytes([1, 2, 3, 4])
+        assert mem.peek_block(64)[:4] == bytes([5, 6, 7, 8])
+
+    def test_counters(self):
+        mem = MainMemory(block_size=64, latency=100)
+        mem.read_block(0)
+        mem.write_block(0, bytes(64))
+        assert mem.reads == 1
+        assert mem.writes == 1
+
+    def test_peek_not_counted(self):
+        mem = MainMemory(block_size=64, latency=100)
+        mem.peek_block(0)
+        mem.peek(0, 8)
+        assert mem.reads == 0
+
+
+class TestWriteBuffer:
+    def test_insert_get_remove(self):
+        wb = WriteBuffer(capacity=2)
+        entry = wb.insert(0x1000, bytearray(64))
+        assert wb.get(0x1000) is entry
+        assert 0x1000 in wb
+        assert wb.remove(0x1000) is entry
+        assert 0x1000 not in wb
+
+    def test_duplicate_rejected(self):
+        wb = WriteBuffer()
+        wb.insert(0, bytearray(64))
+        with pytest.raises(ValueError):
+            wb.insert(0, bytearray(64))
+
+    def test_capacity_enforced(self):
+        wb = WriteBuffer(capacity=1)
+        wb.insert(0, bytearray(64))
+        with pytest.raises(OverflowError):
+            wb.insert(64, bytearray(64))
+
+    def test_meta_kwargs(self):
+        wb = WriteBuffer()
+        entry = wb.insert(0, bytearray(64), prv=True)
+        assert entry.meta["prv"] is True
+
+    def test_peak_occupancy(self):
+        wb = WriteBuffer(capacity=4)
+        wb.insert(0, bytearray(64))
+        wb.insert(64, bytearray(64))
+        wb.remove(0)
+        assert wb.peak_occupancy == 2
+        assert len(wb) == 1

@@ -1,0 +1,113 @@
+"""Unit tests for messages and the virtual-channel network."""
+
+from repro.common.events import EventQueue
+from repro.interconnect.message import Message, MessageClass, MessageType
+from repro.interconnect.network import Network, channel_of
+
+
+def msg(mtype, src=0, dst=1, **payload):
+    return Message(mtype, src=src, dst=dst, block_addr=0x1000,
+                   payload=payload)
+
+
+class TestMessageSizes:
+    def test_control_is_header_only(self):
+        assert msg(MessageType.INV_ACK).size_bytes == 8
+
+    def test_data_carries_block(self):
+        assert msg(MessageType.DATA).size_bytes == 72
+
+    def test_writeback_carries_block(self):
+        assert msg(MessageType.PUTM).size_bytes == 72
+        assert msg(MessageType.PRV_WB).size_bytes == 72
+
+    def test_rep_md_carries_bitvectors(self):
+        # Section IV: 16-byte read/write bit-vector payload.
+        assert msg(MessageType.REP_MD).size_bytes == 24
+
+    def test_phantom_is_dataless(self):
+        assert msg(MessageType.PHANTOM_MD).size_bytes == 8
+
+
+class TestMessageClasses:
+    def test_requests(self):
+        for t in (MessageType.GET, MessageType.GETX, MessageType.UPGRADE,
+                  MessageType.GETCHK, MessageType.GETXCHK):
+            assert msg(t).mclass == MessageClass.REQUEST
+
+    def test_inv_interventions(self):
+        for t in (MessageType.INV, MessageType.FWD_GET, MessageType.FWD_GETX,
+                  MessageType.TR_PRV, MessageType.INV_PRV):
+            assert msg(t).mclass == MessageClass.INV_INTERVENTION
+
+    def test_metadata(self):
+        assert msg(MessageType.REP_MD).mclass == MessageClass.METADATA
+        assert msg(MessageType.PHANTOM_MD).mclass == MessageClass.METADATA
+
+    def test_writeback_channel_grouping(self):
+        # PUTM / PRV_WB / CTRL_WB must share a channel (ordering invariant).
+        channels = {channel_of(msg(t)) for t in (
+            MessageType.PUTM, MessageType.PRV_WB, MessageType.CTRL_WB)}
+        assert channels == {"wb"}
+
+
+class TestNetworkDelivery:
+    def _net(self, latency=10, ordered_min=None):
+        q = EventQueue()
+        net = Network(q, latency=latency, ordered_source_min=ordered_min)
+        log = []
+        net.register(0, lambda m: log.append((q.now, m.mtype)))
+        net.register(1, lambda m: log.append((q.now, m.mtype)))
+        return q, net, log
+
+    def test_latency_and_serialization(self):
+        q, net, log = self._net()
+        net.send(msg(MessageType.INV_ACK, src=0, dst=1))
+        q.run()
+        assert log == [(10, MessageType.INV_ACK)]
+        q2, net2, log2 = self._net()
+        net2.send(msg(MessageType.DATA, src=0, dst=1, data=b"x" * 64))
+        q2.run()
+        assert log2 == [(18, MessageType.DATA)]  # 10 + (72-8)/8
+
+    def test_small_message_overtakes_large_on_other_channel(self):
+        q, net, log = self._net()
+        net.send(msg(MessageType.DATA, src=0, dst=1, data=b"x" * 64))
+        net.send(msg(MessageType.INV, src=0, dst=1))
+        q.run()
+        assert [t for _, t in log] == [MessageType.INV, MessageType.DATA]
+
+    def test_same_channel_fifo(self):
+        q, net, log = self._net()
+        net.send(msg(MessageType.PUTM, src=0, dst=1, data=b"x" * 64))
+        net.send(msg(MessageType.CTRL_WB, src=0, dst=1))
+        q.run()
+        # Same wb channel: CTRL_WB may not overtake the PUTM.
+        assert [t for _, t in log] == [MessageType.PUTM, MessageType.CTRL_WB]
+
+    def test_ordered_source_keeps_global_order(self):
+        q, net, log = self._net(ordered_min=1)
+        net.send(msg(MessageType.DATA, src=1, dst=0, data=b"x" * 64))
+        net.send(msg(MessageType.INV, src=1, dst=0))
+        q.run()
+        # Directory-sourced (src >= 1): the INV cannot overtake the grant.
+        assert [t for _, t in log] == [MessageType.DATA, MessageType.INV]
+
+    def test_unordered_below_threshold(self):
+        q, net, log = self._net(ordered_min=5)
+        net.send(msg(MessageType.DATA, src=0, dst=1, data=b"x" * 64))
+        net.send(msg(MessageType.INV, src=0, dst=1))
+        q.run()
+        assert [t for _, t in log] == [MessageType.INV, MessageType.DATA]
+
+    def test_traffic_accounting(self):
+        q, net, _ = self._net()
+        net.send(msg(MessageType.GET, src=0, dst=1))
+        net.send(msg(MessageType.DATA, src=1, dst=0, data=b"y" * 64))
+        q.run()
+        assert net.stats.total_messages == 2
+        assert net.stats.total_bytes == 8 + 72
+        assert net.stats.of_class(MessageClass.REQUEST) == 1
+        d = net.stats.as_dict()
+        assert d["msgs_total"] == 2
+        assert d["bytes_total"] == 80

@@ -1,0 +1,114 @@
+"""Unit tests for the PAM table (Section IV, Fig. 5a)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ProtocolError
+from repro.core.pam import PamTable, expand_granule_mask, granule_mask
+
+
+class TestGranuleMask:
+    def test_byte_granularity_identity(self):
+        assert granule_mask(0xF0, 1, 64) == 0xF0
+
+    def test_four_byte_granules(self):
+        # Bytes 4-7 -> granule 1 of 16.
+        assert granule_mask(0xF0, 4, 64) == 0b10
+
+    def test_partial_granule_touch_sets_granule(self):
+        assert granule_mask(0x10, 4, 64) == 0b10
+
+    def test_expand_roundtrip(self):
+        g = granule_mask(0xFF00, 4, 64)
+        expanded = expand_granule_mask(g, 4, 64)
+        assert expanded == 0xFF00
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.sampled_from([1, 2, 4]))
+    def test_expansion_covers_original(self, byte_mask, gran):
+        g = granule_mask(byte_mask, gran, 64)
+        expanded = expand_granule_mask(g, gran, 64)
+        assert expanded & byte_mask == byte_mask
+
+
+class TestPamTable:
+    def make(self, capacity=8, granularity=1):
+        return PamTable(capacity=capacity, granularity=granularity,
+                        block_size=64)
+
+    def test_allocate_and_record(self):
+        pam = self.make()
+        pam.allocate(0x1000)
+        pam.record_access(0x1000, 0x0F, is_write=False)
+        pam.record_access(0x1000, 0xF0, is_write=True)
+        entry = pam.get(0x1000)
+        assert entry.read_bits == 0x0F
+        assert entry.write_bits == 0xF0
+
+    def test_double_allocate_rejected(self):
+        pam = self.make()
+        pam.allocate(0)
+        with pytest.raises(ProtocolError):
+            pam.allocate(0)
+
+    def test_capacity_enforced(self):
+        pam = self.make(capacity=2)
+        pam.allocate(0)
+        pam.allocate(64)
+        with pytest.raises(ProtocolError):
+            pam.allocate(128)
+
+    def test_invalidate_frees_capacity(self):
+        pam = self.make(capacity=1)
+        pam.allocate(0)
+        assert pam.invalidate(0) is not None
+        pam.allocate(64)
+
+    def test_access_without_entry_rejected(self):
+        pam = self.make()
+        with pytest.raises(ProtocolError):
+            pam.record_access(0, 0x1, is_write=True)
+
+    def test_covered_for_read_accepts_either_bit(self):
+        pam = self.make()
+        pam.allocate(0)
+        pam.record_access(0, 0x1, is_write=False)
+        pam.record_access(0, 0x2, is_write=True)
+        entry = pam.get(0)
+        assert entry.covered_for_read(0x3)
+        assert not entry.covered_for_read(0x7)
+
+    def test_covered_for_write_needs_write_bit(self):
+        pam = self.make()
+        pam.allocate(0)
+        pam.record_access(0, 0x1, is_write=False)
+        entry = pam.get(0)
+        assert not entry.covered_for_write(0x1)
+        pam.record_access(0, 0x1, is_write=True)
+        assert entry.covered_for_write(0x1)
+
+    def test_coarse_granularity_collapses(self):
+        pam = self.make(granularity=4)
+        pam.allocate(0)
+        pam.record_access(0, 0x1, is_write=True)  # byte 0 -> granule 0
+        entry = pam.get(0)
+        # The whole granule is now write-covered.
+        assert entry.covered_for_write(pam.to_granule_mask(0xF))
+
+    def test_entry_bits_table2(self):
+        # 64-byte lines at byte granularity: 2*64 + 1 = 129 bits (paper).
+        pam = PamTable(capacity=512, granularity=1, block_size=64)
+        assert pam.entry_bits() == 129
+
+    def test_entry_bits_coarse(self):
+        pam = PamTable(capacity=512, granularity=4, block_size=64)
+        assert pam.entry_bits() == 33
+
+    def test_clear(self):
+        pam = self.make()
+        entry = pam.allocate(0)
+        entry.send_md = True
+        pam.record_access(0, 0xFF, is_write=True)
+        entry.clear()
+        assert entry.empty
+        assert not entry.send_md

@@ -1,0 +1,187 @@
+"""Randomized stress tests: every protocol mode must produce the same final
+memory image as a simple sequential reference.
+
+Two workload families:
+
+* *Disjoint-bytes*: each thread owns fixed byte slots in a set of shared
+  lines (pure false sharing). The reference is computed per-slot from the
+  thread's own operation stream.
+* *Atomic true sharing*: threads fetch-add shared words; the final value
+  must equal the total increment count under every protocol.
+
+These runs exercise detection, privatization, CHKs, terminations, evictions
+and races under random interleavings; a single lost or duplicated byte
+anywhere in the protocol fails them.
+"""
+
+import random
+
+import pytest
+
+from repro.coherence.states import ProtocolMode
+from repro.common.config import CacheConfig
+from repro.cpu.ops import compute, fetch_add, load, store
+
+from _helpers import memory_image, read_u, run_programs, small_config
+
+MODES = [ProtocolMode.MESI, ProtocolMode.FSDETECT, ProtocolMode.FSLITE]
+
+
+def disjoint_program(tid, lines, ops, rng):
+    """Random loads/stores/RMWs confined to the thread's own slots."""
+    plan = []
+    for _ in range(ops):
+        line = rng.choice(lines)
+        slot = line + 8 * tid
+        kind = rng.randrange(3)
+        value = rng.randrange(1, 1 << 31)
+        pause = rng.randrange(0, 6)
+        plan.append((kind, slot, value, pause))
+
+    def prog():
+        local = {}
+        for kind, slot, value, pause in plan:
+            if kind == 0:
+                yield store(slot, value, size=8)
+                local[slot] = value
+            elif kind == 1:
+                got = yield load(slot, size=8)
+                assert got == local.get(slot, 0), (hex(slot), got)
+            else:
+                old = yield fetch_add(slot, 1, size=8)
+                assert old == local.get(slot, 0)
+                local[slot] = (old + 1) & ((1 << 64) - 1)
+            if pause:
+                yield compute(pause)
+    final = {}
+    local = {}
+    for kind, slot, value, _ in plan:
+        if kind == 0:
+            local[slot] = value
+        elif kind == 2:
+            local[slot] = (local.get(slot, 0) + 1) & ((1 << 64) - 1)
+    final.update(local)
+    return prog(), final
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_disjoint_random_streams(mode, seed):
+    rng = random.Random(seed)
+    lines = [0x20000 + i * 64 for i in range(6)]
+    programs, expected = [], {}
+    for tid in range(4):
+        prog, final = disjoint_program(tid, lines, ops=250,
+                                       rng=random.Random(seed * 17 + tid))
+        programs.append(prog)
+        expected.update(final)
+    result, machine = run_programs(programs, mode=mode)
+    img = memory_image(machine)
+    for slot, value in expected.items():
+        assert read_u(img, slot, size=8) == value, hex(slot)
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_atomic_true_sharing(mode, seed):
+    rng = random.Random(seed)
+    words = [0x30000 + i * 64 for i in range(3)]
+    counts = {w: 0 for w in words}
+    programs = []
+    for tid in range(4):
+        trng = random.Random(seed * 31 + tid)
+        plan = [trng.choice(words) for _ in range(120)]
+        for w in plan:
+            counts[w] += 1
+
+        def prog(plan=plan):
+            for w in plan:
+                yield fetch_add(w, 1, size=8)
+                yield compute(2)
+        programs.append(prog())
+    result, machine = run_programs(programs, mode=mode)
+    img = memory_image(machine)
+    for w, n in counts.items():
+        assert read_u(img, w, size=8) == n
+
+    if mode == ProtocolMode.FSLITE:
+        assert result.stats.privatizations == 0
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_mixed_disjoint_and_shared(mode):
+    """Disjoint slots AND a truly-shared counter in the same line: the
+    protocol must never privatize it, and all updates must survive."""
+    line = 0x40000
+
+    def worker(tid):
+        def prog():
+            for i in range(150):
+                yield store(line + 8 + 8 * tid, i + 1, size=8)
+                if i % 5 == tid % 5:
+                    yield fetch_add(line, 1, size=8)
+                yield compute(2)
+        return prog()
+    result, machine = run_programs([worker(t) for t in range(4)], mode=mode)
+    img = memory_image(machine)
+    assert read_u(img, line, size=8) == 4 * 30
+    for t in range(4):
+        assert read_u(img, line + 8 + 8 * t, size=8) == 150
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_tiny_caches_stress(mode, seed):
+    """Small L1 + small LLC: constant evictions, recalls and (under FSLite)
+    PRV writebacks and episode terminations."""
+    cfg = small_config(
+        l1=CacheConfig(size_bytes=1024, associativity=2),
+        llc=CacheConfig(size_bytes=8 * 1024, associativity=2,
+                        tag_latency=2, data_latency=8),
+        num_llc_slices=2,
+    )
+    programs, expected = [], {}
+    for tid in range(4):
+        prog, final = disjoint_program(
+            tid, [0x50000 + i * 64 for i in range(24)], ops=200,
+            rng=random.Random(seed * 13 + tid))
+        programs.append(prog)
+        expected.update(final)
+    result, machine = run_programs(programs, mode=mode, config=cfg)
+    img = memory_image(machine)
+    for slot, value in expected.items():
+        assert read_u(img, slot, size=8) == value, hex(slot)
+
+
+@pytest.mark.parametrize("gran", [2, 4])
+@pytest.mark.parametrize("reader_opt", [False, True])
+def test_fslite_variants_random(gran, reader_opt):
+    cfg = small_config().with_protocol(tracking_granularity=gran,
+                                       reader_metadata_opt=reader_opt)
+    programs, expected = [], {}
+    for tid in range(4):
+        prog, final = disjoint_program(
+            tid, [0x60000 + i * 64 for i in range(4)], ops=200,
+            rng=random.Random(tid + 99))
+        programs.append(prog)
+        expected.update(final)
+    result, machine = run_programs(programs, mode=ProtocolMode.FSLITE,
+                                   config=cfg)
+    img = memory_image(machine)
+    for slot, value in expected.items():
+        assert read_u(img, slot, size=8) == value, hex(slot)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_ooo_core_random(mode):
+    programs, expected = [], {}
+    for tid in range(4):
+        prog, final = disjoint_program(
+            tid, [0x70000 + i * 64 for i in range(4)], ops=200,
+            rng=random.Random(tid + 7))
+        programs.append(prog)
+        expected.update(final)
+    result, machine = run_programs(programs, mode=mode, core_model="ooo")
+    img = memory_image(machine)
+    for slot, value in expected.items():
+        assert read_u(img, slot, size=8) == value, hex(slot)

@@ -1,0 +1,153 @@
+"""Tests of the simulation driver, machine builder and statistics."""
+
+import pytest
+
+from repro.coherence.states import ProtocolMode
+from repro.common.config import SystemConfig
+from repro.common.errors import SimulationError
+from repro.cpu.ops import compute, load, store
+from repro.system.builder import build_machine
+from repro.system.simulator import Simulator, flush_machine_memory
+from repro.system.stats import SimStats
+
+from _helpers import run_programs, small_config
+
+
+class TestBuilder:
+    def test_node_numbering(self):
+        cfg = small_config()
+        machine = build_machine(cfg, ProtocolMode.MESI)
+        assert len(machine.l1s) == cfg.num_cores
+        assert len(machine.slices) == cfg.num_llc_slices
+        assert machine.slices[0].node_id == cfg.num_cores
+
+    def test_home_slice_by_block_interleave(self):
+        machine = build_machine(small_config(), ProtocolMode.MESI)
+        assert machine.home_slice(0).slice_id == 0
+        assert machine.home_slice(64).slice_id == 1
+        assert machine.home_slice(128).slice_id == 0
+
+    def test_detector_only_when_detecting(self):
+        mesi = build_machine(small_config(), ProtocolMode.MESI)
+        fsd = build_machine(small_config(), ProtocolMode.FSDETECT)
+        assert mesi.slices[0].detector is None
+        assert fsd.slices[0].detector is not None
+
+    def test_too_many_programs_rejected(self):
+        machine = build_machine(small_config(), ProtocolMode.MESI)
+
+        def prog():
+            yield compute(1)
+        with pytest.raises(ValueError):
+            machine.attach_programs([prog() for _ in range(9)])
+
+    def test_unknown_core_model_rejected(self):
+        machine = build_machine(small_config(), ProtocolMode.MESI)
+
+        def prog():
+            yield compute(1)
+        with pytest.raises(ValueError):
+            machine.attach_programs([prog()], core_model="vliw")
+
+
+class TestSimulator:
+    def test_requires_programs(self):
+        machine = build_machine(small_config(), ProtocolMode.MESI)
+        with pytest.raises(SimulationError):
+            Simulator(machine).run()
+
+    def test_livelock_guard(self):
+        def spin_forever():
+            while True:
+                yield compute(1)
+        machine = build_machine(small_config(), ProtocolMode.MESI)
+        machine.attach_programs([spin_forever()])
+        with pytest.raises(SimulationError):
+            Simulator(machine, max_events=5000).run()
+
+    def test_cycles_is_last_finisher(self):
+        def short():
+            yield compute(10)
+
+        def longer():
+            yield compute(500)
+        result, _ = run_programs([short(), longer()])
+        assert result.cycles >= 500
+
+    def test_fewer_programs_than_cores(self):
+        def prog():
+            yield store(0x1000, 1)
+        result, machine = run_programs([prog()])
+        assert len(machine.cores) == 1
+
+
+class TestMemoryImage:
+    def test_overlays_l1_dirty(self):
+        def prog():
+            yield store(0x1000, 0xAB)
+        _, machine = run_programs([prog()])
+        img = flush_machine_memory(machine)
+        assert img[0x1000][:4] == (0xAB).to_bytes(4, "little")
+
+    def test_falls_back_to_memory(self):
+        def prog():
+            yield compute(1)
+        _, machine = run_programs([prog()])
+        img = flush_machine_memory(machine)
+        assert img[0x999000] == bytes(64)
+        assert img.get(0x999000) == bytes(64)
+
+    def test_prv_blocks_merged_in_image(self):
+        def writer(tid):
+            def prog():
+                for i in range(200):
+                    yield store(0x2000 + 8 * tid, i + 1, size=8)
+                    yield compute(2)
+            return prog()
+        result, machine = run_programs([writer(t) for t in range(4)],
+                                       mode=ProtocolMode.FSLITE)
+        assert result.stats.privatizations >= 1
+        img = flush_machine_memory(machine)
+        for t in range(4):
+            got = int.from_bytes(img[0x2000][8 * t:8 * t + 8], "little")
+            assert got == 200
+
+
+class TestStats:
+    def test_summary_fields(self):
+        def prog():
+            yield load(0x1000)
+            yield store(0x1000, 2)
+        result, _ = run_programs([prog()], mode=ProtocolMode.FSLITE)
+        s = result.stats.summary()
+        for key in ("cycles", "accesses", "l1_miss_rate", "messages",
+                    "privatizations", "energy_nj"):
+            assert key in s
+        assert s["accesses"] == 2
+
+    def test_miss_rate_zero_when_idle(self):
+        assert SimStats().l1_miss_rate == 0.0
+
+    def test_network_bytes_positive(self):
+        def prog():
+            yield load(0x1000)
+        result, _ = run_programs([prog()])
+        assert result.stats.total_bytes > 0
+
+    def test_energy_breakdown_present(self):
+        def prog():
+            yield load(0x1000)
+        result, _ = run_programs([prog()])
+        assert result.stats.energy["total_nj"] > 0
+        assert result.stats.energy["static_nj"] > 0
+
+    def test_sam_stats_collected_in_fslite(self):
+        def writer(tid):
+            def prog():
+                for i in range(150):
+                    yield store(0x3000 + 8 * tid, i, size=8)
+                    yield compute(2)
+            return prog()
+        result, _ = run_programs([writer(t) for t in range(4)],
+                                 mode=ProtocolMode.FSLITE)
+        assert any("sam_allocations" in s for s in result.stats.per_slice)

@@ -1,0 +1,88 @@
+"""Tests for the message tracer."""
+
+import pytest
+
+from repro.coherence.states import ProtocolMode
+from repro.cpu.ops import compute, store
+from repro.interconnect.message import MessageType
+from repro.system.builder import build_machine
+from repro.system.simulator import Simulator
+from repro.system.tracing import FSLITE_TYPES, MessageTracer
+
+from _helpers import small_config
+
+LINE = 0x7000
+
+
+def writers(n=150):
+    def worker(tid):
+        def prog():
+            for i in range(n):
+                yield store(LINE + 8 * tid, i, size=8)
+                yield compute(2)
+        return prog()
+    return [worker(t) for t in range(4)]
+
+
+def run_traced(mode=ProtocolMode.FSLITE, **tracer_kwargs):
+    machine = build_machine(small_config(), mode)
+    machine.attach_programs(writers())
+    tracer = MessageTracer(machine, **tracer_kwargs)
+    with tracer:
+        Simulator(machine).run()
+    return tracer
+
+
+class TestTracer:
+    def test_captures_messages(self):
+        tracer = run_traced()
+        assert len(tracer) > 0
+        entry = tracer.entries[0]
+        assert entry.cycle >= 0
+        assert entry.size_bytes >= 8
+
+    def test_block_filter(self):
+        tracer = run_traced(blocks=[LINE])
+        assert all(e.block_addr == LINE for e in tracer.entries)
+        assert len(tracer) > 0
+
+    def test_type_filter_fslite_vocabulary(self):
+        tracer = run_traced(types=FSLITE_TYPES)
+        assert len(tracer) > 0
+        assert all(e.mtype in FSLITE_TYPES for e in tracer.entries)
+        assert tracer.of_type(MessageType.TR_PRV)
+
+    def test_predicate_filter(self):
+        tracer = run_traced(predicate=lambda m: m.src == 0)
+        assert all(e.src == 0 for e in tracer.entries)
+
+    def test_limit_and_dropped(self):
+        tracer = run_traced(limit=5)
+        assert len(tracer) == 5
+        assert tracer.dropped > 0
+
+    def test_between(self):
+        tracer = run_traced(blocks=[LINE])
+        window = tracer.between(0, tracer.entries[0].cycle)
+        assert window and window[-1].cycle <= tracer.entries[0].cycle
+
+    def test_render(self):
+        tracer = run_traced(blocks=[LINE])
+        text = tracer.render(max_lines=3)
+        assert "core" in text and "dir" in text
+        assert "more" in text
+
+    def test_detach_restores(self):
+        machine = build_machine(small_config(), ProtocolMode.MESI)
+        machine.attach_programs(writers(10))
+        tracer = MessageTracer(machine).attach()
+        original = tracer._original_send
+        tracer.detach()
+        assert machine.network.send is original
+
+    def test_double_attach_rejected(self):
+        machine = build_machine(small_config(), ProtocolMode.MESI)
+        tracer = MessageTracer(machine).attach()
+        with pytest.raises(RuntimeError):
+            tracer.attach()
+        tracer.detach()

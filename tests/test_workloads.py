@@ -1,0 +1,154 @@
+"""Tests of the benchmark proxies (Table III) and microbenchmarks."""
+
+import pytest
+
+from repro.coherence.states import ProtocolMode
+from repro.harness.runner import run_workload
+from repro.workloads.base import WorkloadResultError
+from repro.workloads.layout import MemoryLayout
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    FS_WORKLOADS,
+    MICROBENCHMARKS,
+    NO_FS_WORKLOADS,
+    REGISTRY,
+    make_workload,
+)
+
+SCALE = 0.15  # keep per-test runtimes small
+
+
+class TestRegistry:
+    def test_fourteen_table3_workloads(self):
+        assert len(ALL_WORKLOADS) == 14
+        assert len(FS_WORKLOADS) == 8
+        assert len(NO_FS_WORKLOADS) == 6
+
+    def test_fs_flags_match_grouping(self):
+        for tag in FS_WORKLOADS:
+            assert REGISTRY[tag].has_false_sharing, tag
+        for tag in NO_FS_WORKLOADS:
+            assert not REGISTRY[tag].has_false_sharing, tag
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("XX")
+
+    def test_bad_layout_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("RC", layout="weird")
+
+    def test_programs_one_per_thread(self):
+        w = make_workload("RC", num_threads=3, scale=0.01)
+        assert len(w.programs()) == 3
+
+
+class TestLayout:
+    def test_packed_slots_share_a_line(self):
+        lay = MemoryLayout()
+        slots = lay.alloc_slots("s", 4, 8, padded=False)
+        assert len({s // 64 for s in slots}) == 1
+
+    def test_padded_slots_one_per_line(self):
+        lay = MemoryLayout()
+        slots = lay.alloc_slots("s", 4, 8, padded=True)
+        assert len({s // 64 for s in slots}) == 4
+
+    def test_private_regions_line_separated(self):
+        lay = MemoryLayout()
+        a = lay.alloc_private("a", 10)
+        b = lay.alloc_private("b", 10)
+        assert a // 64 != (b + 9) // 64
+
+    def test_alignment(self):
+        lay = MemoryLayout()
+        assert lay.alloc_line("l") % 64 == 0
+        assert lay.alloc("x", 4, align=16) % 16 == 0
+
+
+@pytest.mark.parametrize("tag", ALL_WORKLOADS + MICROBENCHMARKS)
+class TestEveryWorkloadRuns:
+    def test_runs_and_verifies_under_mesi(self, tag):
+        run_workload(tag, ProtocolMode.MESI, scale=SCALE)
+
+    def test_runs_and_verifies_under_fslite(self, tag):
+        run_workload(tag, ProtocolMode.FSLITE, scale=SCALE)
+
+
+@pytest.mark.parametrize("tag", FS_WORKLOADS)
+class TestFalseSharingWorkloads:
+    def test_padded_layout_verifies(self, tag):
+        run_workload(tag, layout="padded", scale=SCALE)
+
+    def test_huron_layout_verifies(self, tag):
+        run_workload(tag, layout="huron", scale=SCALE)
+
+    def test_detected_under_fsdetect(self, tag):
+        # SC's false-sharing volume is tiny (the paper notes it barely
+        # registers); it needs the full run length to cross thresholds.
+        scale = 1.0 if tag == "SC" else 0.4
+        record = run_workload(tag, ProtocolMode.FSDETECT, scale=scale)
+        assert record.stats.reports, f"{tag}: nothing detected"
+
+    def test_repaired_under_fslite(self, tag):
+        scale = 1.0 if tag == "SC" else 0.4
+        record = run_workload(tag, ProtocolMode.FSLITE, scale=scale)
+        assert record.stats.privatizations >= 1
+
+
+@pytest.mark.parametrize("tag", NO_FS_WORKLOADS)
+class TestNoFalseSharingWorkloads:
+    def test_never_privatized(self, tag):
+        record = run_workload(tag, ProtocolMode.FSLITE, scale=0.4)
+        assert record.stats.privatizations == 0
+
+    def test_fslite_overhead_negligible(self, tag):
+        base = run_workload(tag, ProtocolMode.MESI, scale=0.3)
+        fsl = run_workload(tag, ProtocolMode.FSLITE, scale=0.3)
+        assert abs(fsl.cycles - base.cycles) / base.cycles < 0.02
+
+
+class TestWorkloadSemantics:
+    def test_rc_fslite_beats_manual(self):
+        base = run_workload("RC")
+        fsl = run_workload("RC", ProtocolMode.FSLITE)
+        man = run_workload("RC", layout="padded")
+        assert base.cycles / fsl.cycles > base.cycles / man.cycles > 1.5
+
+    def test_lr_init_pattern_still_privatizes(self):
+        """Thread 0 writes everyone's accumulators first; the τR resets
+        must clear that apparent true sharing so privatization happens."""
+        record = run_workload("LR", ProtocolMode.FSLITE, scale=0.5)
+        assert record.stats.privatizations >= 1
+
+    def test_sf_interspersed_sharing_terminates(self):
+        record = run_workload("SF", ProtocolMode.FSLITE, scale=0.8)
+        terms = record.stats.terminations
+        assert terms["conflict"] + terms["init_abort"] >= 1
+
+    def test_verify_catches_corruption(self):
+        """The verification plumbing itself must be able to fail."""
+        from repro.system.builder import build_machine
+        from repro.system.simulator import Simulator, flush_machine_memory
+        from repro.common.config import SystemConfig
+        w = make_workload("ww", scale=0.1)
+        machine = build_machine(SystemConfig(num_cores=4),
+                                ProtocolMode.MESI)
+        machine.attach_programs(w.programs())
+        Simulator(machine).run()
+        img = flush_machine_memory(machine)
+        img[w.slots[0] & ~63] = bytes(64)  # corrupt
+        with pytest.raises(WorkloadResultError):
+            w.verify(img)
+
+    def test_deterministic_across_runs(self):
+        a = run_workload("LL", ProtocolMode.FSLITE, scale=0.2)
+        b = run_workload("LL", ProtocolMode.FSLITE, scale=0.2)
+        assert a.cycles == b.cycles
+        assert a.stats.total_messages == b.stats.total_messages
+
+    def test_seed_changes_random_streams(self):
+        a = make_workload("CA", scale=0.2, seed=0)
+        b = make_workload("CA", scale=0.2, seed=1)
+        assert [a._rngs[0].randrange(1 << 30) for _ in range(8)] != \
+               [b._rngs[0].randrange(1 << 30) for _ in range(8)]
