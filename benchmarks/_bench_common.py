@@ -5,3 +5,8 @@ import os
 #: Scales workload iteration counts for every benchmark (default: the
 #: calibrated full-scale runs used by EXPERIMENTS.md).
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Worker processes the benchmark engine fans simulations out over
+#: (0 = one per CPU).  Parallelism does not change results — runs are
+#: deterministic per spec — only wall-clock time.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))

@@ -10,6 +10,13 @@
   fig15, fig16, fig17, traffic, sam_size, reader_opt, granularity,
   big_l1d, ooo, table2) and print its table.
 * ``list`` — available workloads and experiments.
+
+Every simulating command accepts ``--jobs N`` (fan simulations out over N
+worker processes; 0 = one per CPU), ``--no-cache`` (skip the persistent
+result cache) and ``--cache-dir PATH`` (cache location; defaults to
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro/engine``).  Results are
+deterministic per spec, so cached and parallel runs are cycle-for-cycle
+identical to fresh serial ones.
 """
 
 from __future__ import annotations
@@ -19,9 +26,11 @@ import sys
 from typing import List, Optional
 
 from repro.coherence.states import ProtocolMode
+from repro.common.errors import ReproError
 from repro.harness import experiments as E
+from repro.harness.engine import Engine, default_cache_dir
 from repro.harness.export import records_to_csv
-from repro.harness.runner import run_workload
+from repro.harness.runner import RunSpec
 from repro.workloads.registry import ALL_WORKLOADS, MICROBENCHMARKS, REGISTRY
 
 EXPERIMENTS = {
@@ -40,6 +49,18 @@ EXPERIMENTS = {
 }
 
 
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for simulations "
+                             "(0 = one per CPU; default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the persistent "
+                             "result cache")
+    parser.add_argument("--cache-dir", metavar="PATH",
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro/engine)")
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -54,32 +75,58 @@ def _parser() -> argparse.ArgumentParser:
                        choices=["packed", "padded", "huron"])
     run_p.add_argument("--scale", type=float, default=1.0)
     run_p.add_argument("--threads", type=int, default=4)
+    run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--core", default="inorder",
                        choices=["inorder", "ooo"])
     run_p.add_argument("--csv", metavar="PATH",
                        help="append the flattened record to a CSV file")
+    _add_engine_args(run_p)
 
     cmp_p = sub.add_parser("compare",
                            help="baseline vs FSDetect vs FSLite vs manual")
     cmp_p.add_argument("tag", choices=sorted(REGISTRY))
     cmp_p.add_argument("--scale", type=float, default=1.0)
+    _add_engine_args(cmp_p)
 
     det_p = sub.add_parser("detect", help="FSDetect profiling report")
     det_p.add_argument("tags", nargs="+", choices=sorted(REGISTRY))
     det_p.add_argument("--scale", type=float, default=0.5)
+    _add_engine_args(det_p)
 
     exp_p = sub.add_parser("experiment", help="run one paper experiment")
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS) + ["table2"])
     exp_p.add_argument("--scale", type=float, default=1.0)
+    exp_p.add_argument("--progress", action="store_true",
+                       help="print per-spec progress/timing to stderr")
+    _add_engine_args(exp_p)
 
     sub.add_parser("list", help="available workloads and experiments")
     return parser
 
 
+def _print_progress(done, total, spec, seconds, source) -> None:
+    note = "cached" if source == "cache" else f"{seconds:.2f}s"
+    print(f"[{done}/{total}] {spec.tag} {spec.mode.value} {spec.layout} "
+          f"({note})", file=sys.stderr)
+
+
+def _engine_from_args(args, progress=None) -> Engine:
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = default_cache_dir()
+    return Engine(jobs=args.jobs, cache_dir=cache_dir, progress=progress)
+
+
 def _cmd_run(args) -> int:
-    record = run_workload(args.tag, ProtocolMode(args.protocol),
-                          layout=args.layout, scale=args.scale,
-                          num_threads=args.threads, core_model=args.core)
+    engine = _engine_from_args(args)
+    spec = RunSpec(tag=args.tag, mode=ProtocolMode(args.protocol),
+                   layout=args.layout, scale=args.scale,
+                   num_threads=args.threads, seed=args.seed,
+                   core_model=args.core)
+    record = engine.run_one(spec)
     for key, value in record.stats.summary().items():
         print(f"{key:22s} {value}")
     if args.csv:
@@ -89,19 +136,21 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    base = run_workload(args.tag, scale=args.scale)
-    rows = [
-        ("mesi", base),
-        ("fsdetect", run_workload(args.tag, ProtocolMode.FSDETECT,
-                                  scale=args.scale)),
-        ("fslite", run_workload(args.tag, ProtocolMode.FSLITE,
-                                scale=args.scale)),
-        ("manual-fix", run_workload(args.tag, layout="padded",
-                                    scale=args.scale)),
-    ]
+    engine = _engine_from_args(args)
+    records = engine.run_keyed({
+        "mesi": RunSpec(tag=args.tag, scale=args.scale),
+        "fsdetect": RunSpec(tag=args.tag, mode=ProtocolMode.FSDETECT,
+                            scale=args.scale),
+        "fslite": RunSpec(tag=args.tag, mode=ProtocolMode.FSLITE,
+                          scale=args.scale),
+        "manual-fix": RunSpec(tag=args.tag, layout="padded",
+                              scale=args.scale),
+    })
+    base = records["mesi"]
     print(f"{'variant':12s} {'cycles':>10s} {'speedup':>8s} {'miss':>7s} "
           f"{'energy':>7s} {'priv':>5s}")
-    for name, rec in rows:
+    for name in ("mesi", "fsdetect", "fslite", "manual-fix"):
+        rec = records[name]
         print(f"{name:12s} {rec.cycles:10d} "
               f"{base.cycles / rec.cycles:8.2f} "
               f"{rec.l1_miss_rate:7.2%} "
@@ -111,8 +160,11 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_detect(args) -> int:
-    for tag in args.tags:
-        record = run_workload(tag, ProtocolMode.FSDETECT, scale=args.scale)
+    engine = _engine_from_args(args)
+    records = engine.run_many([
+        RunSpec(tag=tag, mode=ProtocolMode.FSDETECT, scale=args.scale)
+        for tag in args.tags])
+    for tag, record in zip(args.tags, records):
         stats = record.stats
         lines = sorted({r.block_addr for r in stats.reports})
         print(f"\n{tag}: {len(stats.reports)} false-sharing instance(s) "
@@ -136,7 +188,9 @@ def _cmd_experiment(args) -> int:
     if args.name == "table2":
         print(E.table2_overheads().render())
         return 0
-    result = EXPERIMENTS[args.name](scale=args.scale)
+    progress = _print_progress if args.progress else None
+    engine = _engine_from_args(args, progress=progress)
+    result = EXPERIMENTS[args.name](scale=args.scale, engine=engine)
     print(result.render())
     return 0
 
@@ -164,7 +218,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "list": _cmd_list,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

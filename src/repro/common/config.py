@@ -8,7 +8,7 @@ Defaults mirror Table II of the paper: 8 in-order cores at 3 GHz, 32 KB
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict
 
 from repro.common.errors import ConfigError
@@ -162,6 +162,25 @@ class SystemConfig:
     def with_l1_size(self, size_bytes: int) -> "SystemConfig":
         """Return a copy with a different L1D capacity (same associativity)."""
         return replace(self, l1=replace(self.l1, size_bytes=size_bytes))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested plain-dict form (JSON-safe; inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SystemConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        return cls(
+            num_cores=data["num_cores"],
+            l1=CacheConfig(**data["l1"]),
+            llc=CacheConfig(**data["llc"]),
+            num_llc_slices=data["num_llc_slices"],
+            network_latency=data["network_latency"],
+            memory_latency=data["memory_latency"],
+            protocol=ProtocolConfig(**data["protocol"]),
+            energy=EnergyConfig(**data["energy"]),
+            model_data=data["model_data"],
+        )
 
     def describe(self) -> Dict[str, Any]:
         """Return a flat summary suitable for printing a Table II analogue."""

@@ -23,20 +23,34 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Owning queue; lets cancellation maintain the queue's live-event count.
+    queue: Optional["EventQueue"] = field(default=None, compare=False,
+                                          repr=False)
+    #: Set once the event has been popped for execution.
+    fired: bool = field(default=False, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if not self.fired and self.queue is not None:
+            self.queue._live -= 1
 
 
 class EventQueue:
-    """A time-ordered queue of callbacks with a current-time cursor."""
+    """A time-ordered queue of callbacks with a current-time cursor.
+
+    ``_live`` counts scheduled-but-not-yet-fired, non-cancelled events, so
+    :meth:`empty` is O(1) instead of scanning the heap for cancellations.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._now = 0
         self._executed = 0
+        self._live = 0
 
     @property
     def now(self) -> int:
@@ -52,8 +66,10 @@ class EventQueue:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, next(self._seq), callback)
+        event = Event(self._now + delay, next(self._seq), callback,
+                      queue=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
@@ -61,14 +77,17 @@ class EventQueue:
         return self.schedule(time - self._now, callback)
 
     def empty(self) -> bool:
-        return not any(not e.cancelled for e in self._heap)
+        """True when no live (non-cancelled) events remain. O(1)."""
+        return self._live == 0
 
     def step(self) -> bool:
         """Execute the next non-cancelled event. Return False if none left."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
-                continue
+                continue  # cancel() already dropped it from the live count
+            event.fired = True
+            self._live -= 1
             self._now = event.time
             self._executed += 1
             event.callback()

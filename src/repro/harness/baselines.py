@@ -15,37 +15,68 @@ real static repairs use), selected through the workload's ``layout`` knob:
   workload's ``huron_efficacy`` encodes the fraction of its falsely-shared
   structures Huron repairs; the BS instruction saving is applied here as a
   compute discount.
+
+The ``*_spec`` builders return plain :class:`RunSpec`\\ s so drivers can
+batch them through the engine; :func:`apply_huron_discount` is the
+post-processing step the Huron proxy needs on its raw record.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 from repro.coherence.states import ProtocolMode
 from repro.common.config import SystemConfig
-from repro.harness.runner import RunRecord, run_workload
+from repro.harness.runner import RunRecord, RunSpec
 
 #: Paper, Section VIII-B (Fig. 17): "Huron outperforms manual fix as well
 #: as FSLite by 14% on BS as it commits 15% fewer instructions."
 HURON_BS_INSTRUCTION_DISCOUNT = 0.87
 
 
+def manual_fix_spec(tag: str, config: Optional[SystemConfig] = None,
+                    **kwargs) -> RunSpec:
+    """Spec for the manually repaired (padded) variant under baseline MESI."""
+    return RunSpec(tag=tag, mode=ProtocolMode.MESI, layout="padded",
+                   config=config, **kwargs)
+
+
+def huron_spec(tag: str, config: Optional[SystemConfig] = None,
+               **kwargs) -> RunSpec:
+    """Spec for the Huron-proxy variant under baseline MESI.
+
+    Pair with :func:`apply_huron_discount` on the resulting record.
+    """
+    return RunSpec(tag=tag, mode=ProtocolMode.MESI, layout="huron",
+                   config=config, **kwargs)
+
+
+def apply_huron_discount(record: RunRecord) -> RunRecord:
+    """Apply Huron's BS compute discount to a raw ``layout="huron"`` run."""
+    if record.tag != "BS":
+        return record
+    return dataclasses.replace(
+        record,
+        cycles=int(record.cycles * HURON_BS_INSTRUCTION_DISCOUNT),
+        extra={**record.extra,
+               "instruction_discount": HURON_BS_INSTRUCTION_DISCOUNT})
+
+
 def run_manual_fix(tag: str, config: Optional[SystemConfig] = None,
                    **kwargs) -> RunRecord:
     """Run the manually repaired (padded) variant under baseline MESI."""
-    return run_workload(tag, mode=ProtocolMode.MESI, layout="padded",
-                        config=config, **kwargs)
+    from repro.harness.engine import default_engine
+
+    return default_engine().run_one(manual_fix_spec(tag, config=config,
+                                                    **kwargs))
 
 
 def run_huron(tag: str, config: Optional[SystemConfig] = None,
               **kwargs) -> RunRecord:
     """Run the Huron-proxy variant under baseline MESI."""
-    record = run_workload(tag, mode=ProtocolMode.MESI, layout="huron",
-                          config=config, **kwargs)
-    if tag == "BS":
-        record = RunRecord(
-            tag=record.tag, mode=record.mode, layout=record.layout,
-            cycles=int(record.cycles * HURON_BS_INSTRUCTION_DISCOUNT),
-            stats=record.stats, core_model=record.core_model,
-            extra={"instruction_discount": HURON_BS_INSTRUCTION_DISCOUNT})
-    return record
+    from repro.harness.engine import default_engine
+
+    record = default_engine().run_one(huron_spec(tag, config=config,
+                                                 **kwargs))
+    return apply_huron_discount(record)

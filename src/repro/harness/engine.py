@@ -1,0 +1,252 @@
+"""Process-parallel, memoizing execution engine for simulation runs.
+
+``Engine.run_many(specs)`` is the one gateway through which harness code
+executes simulations:
+
+* **Dedup** — identical :class:`RunSpec`\\ s within a batch simulate once
+  (figure drivers routinely share baselines, e.g. the MESI runs of the FS
+  apps appear in fig02, fig13, fig14, fig16 and the traffic study).
+* **Cache** — completed :class:`RunRecord`\\ s are memoized to an on-disk
+  JSON store keyed by ``spec.digest()``; entries carry a
+  :data:`CODE_VERSION` stamp and are invalidated when it changes (bump it
+  whenever protocol/simulator behaviour changes).
+* **Parallelism** — with ``jobs > 1`` pending specs fan out over a
+  spawn-based process pool.  Simulations are deterministic per spec, so
+  parallel and serial execution produce cycle-for-cycle identical records.
+* **Resilience** — a spec whose worker crashes (or raises) is retried once
+  in the parent process; a second failure surfaces as a structured
+  :class:`EngineError` naming the spec, digest and cause.
+* **Progress** — an optional ``progress(done, total, spec, seconds,
+  source)`` callback fires per completed spec (``source`` is ``"run"`` or
+  ``"cache"``); per-spec wall times accumulate in ``Engine.timings``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from multiprocessing import get_context
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.common.errors import ReproError
+from repro.harness.export import record_from_dict, record_to_dict
+from repro.harness.runner import RunRecord, RunSpec, execute_spec
+
+#: Version stamp baked into every cache entry.  Bump on any change to the
+#: protocol engines, simulator timing or workloads so stale results are
+#: re-simulated instead of replayed.
+CODE_VERSION = "1"
+
+
+class EngineError(ReproError):
+    """A spec failed to execute even after the engine's retry."""
+
+    def __init__(self, spec: RunSpec, attempts: int, cause: BaseException):
+        self.spec = spec
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(
+            f"run {spec.tag}/{spec.mode.value}/{spec.layout} "
+            f"(digest {spec.digest()}) failed after {attempts} attempt(s): "
+            f"{type(cause).__name__}: {cause}")
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Cache location: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/engine``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro" / "engine"
+
+
+def _timed_call(executor: Callable[[RunSpec], RunRecord],
+                spec: RunSpec) -> tuple:
+    start = time.perf_counter()
+    record = executor(spec)
+    return record, time.perf_counter() - start
+
+
+class Engine:
+    """Batched simulation runner with dedup, caching and process fan-out.
+
+    ``cache_dir=None`` (the default) disables the persistent cache —
+    library callers opt in explicitly; the CLI enables it unless
+    ``--no-cache`` is given.  ``jobs`` may be overridden per batch;
+    ``jobs=0`` means one worker per CPU.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache_dir: Optional[os.PathLike] = None,
+                 progress: Optional[Callable] = None,
+                 executor: Callable[[RunSpec], RunRecord] = execute_spec):
+        self.jobs = jobs
+        self.cache_dir = (pathlib.Path(cache_dir).expanduser()
+                          if cache_dir else None)
+        self.progress = progress
+        self._executor = executor
+        #: Counters: simulations executed, cache hits, in-batch duplicates
+        #: absorbed, and retries performed.
+        self.stats: Dict[str, int] = {"executed": 0, "cache_hits": 0,
+                                      "deduped": 0, "retries": 0}
+        #: Per-spec wall-clock seconds, keyed by ``spec.digest()``.
+        self.timings: Dict[str, float] = {}
+
+    # ------------------------------------------------------------- running
+
+    def run_one(self, spec: RunSpec) -> RunRecord:
+        """Run (or recall) a single spec."""
+        return self.run_many([spec])[0]
+
+    def run_many(self, specs: Sequence[RunSpec],
+                 jobs: Optional[int] = None) -> List[RunRecord]:
+        """Run a batch; returns records aligned with ``specs``' order."""
+        specs = list(specs)
+        unique: List[RunSpec] = []
+        seen = set()
+        for spec in specs:
+            if spec not in seen:
+                seen.add(spec)
+                unique.append(spec)
+        self.stats["deduped"] += len(specs) - len(unique)
+
+        results: Dict[RunSpec, RunRecord] = {}
+        pending: List[RunSpec] = []
+        for spec in unique:
+            cached = self._cache_get(spec)
+            if cached is not None:
+                results[spec] = cached
+            else:
+                pending.append(spec)
+
+        total, done = len(unique), 0
+        for spec in unique:
+            if spec in results:
+                done += 1
+                self.stats["cache_hits"] += 1
+                self._notify(done, total, spec, None, "cache")
+
+        workers = self._resolve_jobs(jobs)
+        if len(pending) > 1 and workers > 1:
+            done = self._run_parallel(pending, workers, results, done, total)
+        else:
+            for spec in pending:
+                record, seconds = self._attempt_with_retry(spec)
+                done = self._complete(spec, record, seconds, results,
+                                      done, total)
+        return [results[spec] for spec in specs]
+
+    def run_keyed(self, keyed_specs: Dict[object, RunSpec],
+                  jobs: Optional[int] = None) -> Dict[object, RunRecord]:
+        """Run a ``{key: spec}`` mapping; returns ``{key: record}``."""
+        keys = list(keyed_specs)
+        records = self.run_many([keyed_specs[k] for k in keys], jobs=jobs)
+        return dict(zip(keys, records))
+
+    # ------------------------------------------------------------ internals
+
+    def _resolve_jobs(self, jobs: Optional[int]) -> int:
+        jobs = self.jobs if jobs is None else jobs
+        if jobs < 1:
+            jobs = os.cpu_count() or 1
+        return jobs
+
+    def _run_parallel(self, pending: List[RunSpec], workers: int,
+                      results: Dict[RunSpec, RunRecord],
+                      done: int, total: int) -> int:
+        ctx = get_context("spawn")  # import-clean workers on every platform
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending)),
+                                 mp_context=ctx) as pool:
+            futures = {pool.submit(_timed_call, self._executor, spec): spec
+                       for spec in pending}
+            for future in as_completed(futures):
+                spec = futures[future]
+                try:
+                    record, seconds = future.result()
+                except Exception as exc:
+                    # Worker crashed or raised: retry once in the parent so
+                    # a broken pool cannot take the whole batch down.
+                    record, seconds = self._retry_in_parent(spec, exc)
+                done = self._complete(spec, record, seconds, results,
+                                      done, total)
+        return done
+
+    def _attempt_with_retry(self, spec: RunSpec) -> tuple:
+        try:
+            return _timed_call(self._executor, spec)
+        except Exception as exc:
+            return self._retry_in_parent(spec, exc)
+
+    def _retry_in_parent(self, spec: RunSpec, first: BaseException) -> tuple:
+        self.stats["retries"] += 1
+        try:
+            return _timed_call(self._executor, spec)
+        except Exception as exc:
+            raise EngineError(spec, attempts=2, cause=exc) from first
+
+    def _complete(self, spec: RunSpec, record: RunRecord, seconds: float,
+                  results: Dict[RunSpec, RunRecord],
+                  done: int, total: int) -> int:
+        results[spec] = record
+        self.stats["executed"] += 1
+        self.timings[spec.digest()] = seconds
+        self._cache_put(spec, record)
+        done += 1
+        self._notify(done, total, spec, seconds, "run")
+        return done
+
+    def _notify(self, done: int, total: int, spec: RunSpec,
+                seconds: Optional[float], source: str) -> None:
+        if self.progress is not None:
+            self.progress(done, total, spec, seconds, source)
+
+    # --------------------------------------------------------------- cache
+
+    def _cache_path(self, spec: RunSpec) -> Optional[pathlib.Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{spec.digest()}.json"
+
+    def _cache_get(self, spec: RunSpec) -> Optional[RunRecord]:
+        path = self._cache_path(spec)
+        if path is None or not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if data.get("code_version") != CODE_VERSION:
+            return None  # stale: re-simulate and overwrite
+        if data.get("spec") != spec.to_dict():
+            return None  # digest collision paranoia
+        return record_from_dict(data["record"])
+
+    def _cache_put(self, spec: RunSpec, record: RunRecord) -> None:
+        path = self._cache_path(spec)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ReproError(
+                f"result cache directory {path.parent} is unusable "
+                f"({exc}); pass --no-cache or a writable --cache-dir"
+            ) from exc
+        payload = {"code_version": CODE_VERSION, "spec": spec.to_dict(),
+                   "record": record_to_dict(record)}
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)  # atomic even under concurrent engines
+
+
+_default: Optional[Engine] = None
+
+
+def default_engine() -> Engine:
+    """Serial, cache-less engine backing the ``run_workload`` shim."""
+    global _default
+    if _default is None:
+        _default = Engine()
+    return _default

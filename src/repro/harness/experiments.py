@@ -4,6 +4,13 @@ Every function returns an :class:`ExperimentResult` whose ``rows`` are the
 series the corresponding paper figure/table plots; ``render()`` prints an
 aligned table. ``scale`` shrinks workload iteration counts for quick runs
 (tests use scale<1; the benchmarks use the default).
+
+Drivers are **batch-first**: each one builds its full set of
+:class:`RunSpec`\\ s up front and submits them through an
+:class:`~repro.harness.engine.Engine` (``engine=None`` means a private
+serial engine), then does table assembly on the returned records.  That
+separation is what lets the engine dedup shared baselines, recall cached
+records and fan the rest out over worker processes.
 """
 
 from __future__ import annotations
@@ -14,9 +21,15 @@ from typing import Dict, List, Optional, Sequence
 from repro.coherence.states import ProtocolMode
 from repro.common.config import SystemConfig
 from repro.energy.model import AreaModel
-from repro.harness.baselines import run_huron, run_manual_fix
-from repro.harness.runner import RunRecord, run_workload
+from repro.harness.baselines import (
+    apply_huron_discount,
+    huron_spec,
+    manual_fix_spec,
+)
+from repro.harness.engine import Engine
+from repro.harness.runner import RunRecord, RunSpec
 from repro.harness.tables import format_table, geomean
+
 from repro.workloads.registry import FS_WORKLOADS, NO_FS_WORKLOADS
 
 #: The paper excludes SC from the studies after Fig. 14 ("We exclude SC
@@ -30,6 +43,9 @@ class ExperimentResult:
     headers: List[str]
     rows: List[list]
     summary: Dict[str, float] = field(default_factory=dict)
+    #: The specs whose simulations produced this result (empty for pure
+    #: analytical tables such as Table II).
+    specs: List[RunSpec] = field(default_factory=list)
 
     def render(self) -> str:
         lines = [f"== {self.name} ==", format_table(self.headers, self.rows)]
@@ -44,24 +60,32 @@ class ExperimentResult:
         return [row[idx] for row in self.rows]
 
 
-def _base_runs(tags: Sequence[str], config: Optional[SystemConfig] = None,
-               scale: float = 1.0, **kw) -> Dict[str, RunRecord]:
-    return {tag: run_workload(tag, config=config, scale=scale, **kw)
-            for tag in tags}
+def _engine(engine: Optional[Engine]) -> Engine:
+    return engine if engine is not None else Engine()
+
+
+def _run_keyed(engine: Optional[Engine],
+               keyed: Dict[object, RunSpec]) -> Dict[object, RunRecord]:
+    """Submit one batch of keyed specs and return keyed records."""
+    return _engine(engine).run_keyed(keyed)
 
 
 # ---------------------------------------------------------------- Figure 2
 
 def fig02_manual_fix(scale: float = 1.0,
-                     config: Optional[SystemConfig] = None) -> ExperimentResult:
+                     config: Optional[SystemConfig] = None,
+                     engine: Optional[Engine] = None) -> ExperimentResult:
     """Speedup achieved after manually fixing false sharing (padding)."""
+    specs: Dict[object, RunSpec] = {}
+    for tag in FS_WORKLOADS:
+        specs[(tag, "base")] = RunSpec(tag=tag, config=config, scale=scale)
+        specs[(tag, "manual")] = manual_fix_spec(tag, config=config,
+                                                 scale=scale)
+    recs = _run_keyed(engine, specs)
     rows = []
     speedups = []
     for tag in FS_WORKLOADS:
-        base = run_workload(tag, config=config, scale=scale)
-        manual = run_manual_fix(tag, config=config, scale=scale)
-        s = manual.speedup_over(base)
-        s = base.cycles / manual.cycles
+        s = recs[(tag, "base")].cycles / recs[(tag, "manual")].cycles
         speedups.append(s)
         rows.append([tag, round(s, 2)])
     g = geomean(speedups)
@@ -69,43 +93,55 @@ def fig02_manual_fix(scale: float = 1.0,
     return ExperimentResult(
         name="Figure 2: speedup of the manual fix over baseline MESI "
              "(paper geomean 1.34, RC peak 3.06)",
-        headers=["app", "speedup"], rows=rows, summary={"geomean": g})
+        headers=["app", "speedup"], rows=rows, summary={"geomean": g},
+        specs=list(specs.values()))
 
 
 # ---------------------------------------------------------------- Figure 13
 
 def fig13_miss_fraction(scale: float = 1.0,
-                        config: Optional[SystemConfig] = None
+                        config: Optional[SystemConfig] = None,
+                        engine: Optional[Engine] = None
                         ) -> ExperimentResult:
     """Fraction of L1D accesses that miss, FS apps under baseline MESI."""
+    specs = {tag: RunSpec(tag=tag, config=config, scale=scale)
+             for tag in FS_WORKLOADS}
+    recs = _run_keyed(engine, specs)
     rows = []
     fractions = []
     for tag in FS_WORKLOADS:
-        base = run_workload(tag, config=config, scale=scale)
-        fractions.append(base.l1_miss_rate)
-        rows.append([tag, round(base.l1_miss_rate, 4)])
+        rate = recs[tag].l1_miss_rate
+        fractions.append(rate)
+        rows.append([tag, round(rate, 4)])
     mean = sum(fractions) / len(fractions)
     rows.append(["mean", round(mean, 4)])
     return ExperimentResult(
         name="Figure 13: fraction of L1D accesses that miss "
              "(paper mean 0.05, RC 0.18)",
-        headers=["app", "miss_fraction"], rows=rows, summary={"mean": mean})
+        headers=["app", "miss_fraction"], rows=rows, summary={"mean": mean},
+        specs=list(specs.values()))
 
 
 # ---------------------------------------------------------------- Figure 14
 
 def fig14_speedup_energy(scale: float = 1.0,
-                         config: Optional[SystemConfig] = None
+                         config: Optional[SystemConfig] = None,
+                         engine: Optional[Engine] = None
                          ) -> ExperimentResult:
     """FSDetect/FSLite speedup (14a) and normalized energy (14b)."""
+    specs: Dict[object, RunSpec] = {}
+    for tag in FS_WORKLOADS:
+        for mode in (ProtocolMode.MESI, ProtocolMode.FSDETECT,
+                     ProtocolMode.FSLITE):
+            specs[(tag, mode)] = RunSpec(tag=tag, mode=mode, config=config,
+                                         scale=scale)
+    recs = _run_keyed(engine, specs)
     rows = []
     det_speedups, fsl_speedups, det_energy, fsl_energy = [], [], [], []
     for tag in FS_WORKLOADS:
-        base = run_workload(tag, config=config, scale=scale)
-        det = run_workload(tag, ProtocolMode.FSDETECT, config=config,
-                           scale=scale)
-        fsl = run_workload(tag, ProtocolMode.FSLITE, config=config,
-                           scale=scale)
+        base = recs[(tag, ProtocolMode.MESI)]
+        det = recs[(tag, ProtocolMode.FSDETECT)]
+        fsl = recs[(tag, ProtocolMode.FSLITE)]
         sd, sf = base.cycles / det.cycles, base.cycles / fsl.cycles
         ed, ef = det.energy_vs(base), fsl.energy_vs(base)
         det_speedups.append(sd)
@@ -125,20 +161,26 @@ def fig14_speedup_energy(scale: float = 1.0,
                  "fsdetect_energy", "fslite_energy"],
         rows=rows,
         summary={"fslite_geomean": geomean(fsl_speedups),
-                 "fslite_energy_geomean": geomean(fsl_energy)})
+                 "fslite_energy_geomean": geomean(fsl_energy)},
+        specs=list(specs.values()))
 
 
 # ---------------------------------------------------------------- Figure 15
 
 def fig15_no_fs(scale: float = 1.0,
-                config: Optional[SystemConfig] = None) -> ExperimentResult:
+                config: Optional[SystemConfig] = None,
+                engine: Optional[Engine] = None) -> ExperimentResult:
     """FSLite impact on applications without false sharing (≈1.0/≈1.0)."""
+    specs: Dict[object, RunSpec] = {}
+    for tag in NO_FS_WORKLOADS:
+        specs[(tag, "base")] = RunSpec(tag=tag, config=config, scale=scale)
+        specs[(tag, "fsl")] = RunSpec(tag=tag, mode=ProtocolMode.FSLITE,
+                                      config=config, scale=scale)
+    recs = _run_keyed(engine, specs)
     rows = []
     speedups, energies = [], []
     for tag in NO_FS_WORKLOADS:
-        base = run_workload(tag, config=config, scale=scale)
-        fsl = run_workload(tag, ProtocolMode.FSLITE, config=config,
-                           scale=scale)
+        base, fsl = recs[(tag, "base")], recs[(tag, "fsl")]
         s, e = base.cycles / fsl.cycles, fsl.energy_vs(base)
         speedups.append(s)
         energies.append(e)
@@ -152,25 +194,34 @@ def fig15_no_fs(scale: float = 1.0,
         headers=["app", "speedup", "norm_energy", "privatizations"],
         rows=rows,
         summary={"speedup_geomean": geomean(speedups),
-                 "energy_geomean": geomean(energies)})
+                 "energy_geomean": geomean(energies)},
+        specs=list(specs.values()))
 
 
 # ---------------------------------------------------------------- Figure 16
 
 def fig16_tau_p(scale: float = 1.0,
-                config: Optional[SystemConfig] = None) -> ExperimentResult:
+                config: Optional[SystemConfig] = None,
+                engine: Optional[Engine] = None) -> ExperimentResult:
     """Sensitivity of FSLite to the privatization threshold τP."""
     config = config or SystemConfig()
+    specs: Dict[object, RunSpec] = {}
+    for tag in FS_STUDY:
+        specs[(tag, 16)] = RunSpec(tag=tag, mode=ProtocolMode.FSLITE,
+                                   config=config, scale=scale)
+        specs[(tag, 32)] = RunSpec(
+            tag=tag, mode=ProtocolMode.FSLITE, scale=scale,
+            config=config.with_protocol(tau_p=32, tau_r1=32))
+        specs[(tag, 64)] = RunSpec(
+            tag=tag, mode=ProtocolMode.FSLITE, scale=scale,
+            config=config.with_protocol(tau_p=64, tau_r1=64))
+    recs = _run_keyed(engine, specs)
     rows = []
     rel32, rel64 = [], []
     for tag in FS_STUDY:
-        ref = run_workload(tag, ProtocolMode.FSLITE, config=config,
-                           scale=scale)
-        r32 = run_workload(tag, ProtocolMode.FSLITE, scale=scale,
-                           config=config.with_protocol(tau_p=32, tau_r1=32))
-        r64 = run_workload(tag, ProtocolMode.FSLITE, scale=scale,
-                           config=config.with_protocol(tau_p=64, tau_r1=64))
-        s32, s64 = ref.cycles / r32.cycles, ref.cycles / r64.cycles
+        ref = recs[(tag, 16)]
+        s32 = ref.cycles / recs[(tag, 32)].cycles
+        s64 = ref.cycles / recs[(tag, 64)].cycles
         rel32.append(s32)
         rel64.append(s64)
         rows.append([tag, round(s32, 3), round(s64, 3)])
@@ -181,23 +232,33 @@ def fig16_tau_p(scale: float = 1.0,
              "(paper: ~1% mean slowdown)",
         headers=["app", "tauP=32", "tauP=64"], rows=rows,
         summary={"rel32_geomean": geomean(rel32),
-                 "rel64_geomean": geomean(rel64)})
+                 "rel64_geomean": geomean(rel64)},
+        specs=list(specs.values()))
 
 
 # ---------------------------------------------------------------- Figure 17
 
 def fig17_huron(scale: float = 1.0,
-                config: Optional[SystemConfig] = None) -> ExperimentResult:
+                config: Optional[SystemConfig] = None,
+                engine: Optional[Engine] = None) -> ExperimentResult:
     """Baseline vs manual fix vs Huron vs FSLite (Huron-artifact apps)."""
     tags = ["BS", "LL", "LR", "LT", "RC", "SM"]
+    specs: Dict[object, RunSpec] = {}
+    for tag in tags:
+        specs[(tag, "base")] = RunSpec(tag=tag, config=config, scale=scale)
+        specs[(tag, "manual")] = manual_fix_spec(tag, config=config,
+                                                 scale=scale)
+        specs[(tag, "huron")] = huron_spec(tag, config=config, scale=scale)
+        specs[(tag, "fsl")] = RunSpec(tag=tag, mode=ProtocolMode.FSLITE,
+                                      config=config, scale=scale)
+    recs = _run_keyed(engine, specs)
     rows = []
     man_s, hur_s, fsl_s = [], [], []
     for tag in tags:
-        base = run_workload(tag, config=config, scale=scale)
-        man = run_manual_fix(tag, config=config, scale=scale)
-        hur = run_huron(tag, config=config, scale=scale)
-        fsl = run_workload(tag, ProtocolMode.FSLITE, config=config,
-                           scale=scale)
+        base = recs[(tag, "base")]
+        man = recs[(tag, "manual")]
+        hur = apply_huron_discount(recs[(tag, "huron")])
+        fsl = recs[(tag, "fsl")]
         sm_ = base.cycles / man.cycles
         sh = base.cycles / hur.cycles
         sf = base.cycles / fsl.cycles
@@ -214,22 +275,28 @@ def fig17_huron(scale: float = 1.0,
         headers=["app", "manual", "huron", "fslite"], rows=rows,
         summary={"manual_geomean": geomean(man_s),
                  "huron_geomean": geomean(hur_s),
-                 "fslite_geomean": geomean(fsl_s)})
+                 "fslite_geomean": geomean(fsl_s)},
+        specs=list(specs.values()))
 
 
 # --------------------------------------------------- §VIII-B text studies
 
 def traffic_reduction(scale: float = 1.0,
-                      config: Optional[SystemConfig] = None
+                      config: Optional[SystemConfig] = None,
+                      engine: Optional[Engine] = None
                       ) -> ExperimentResult:
     """L1 request-message and interconnect-traffic reduction under FSLite
     (paper: 80% fewer L1 requests; ~5% metadata traffic; 75% overall)."""
+    specs: Dict[object, RunSpec] = {}
+    for tag in FS_STUDY:
+        specs[(tag, "base")] = RunSpec(tag=tag, config=config, scale=scale)
+        specs[(tag, "fsl")] = RunSpec(tag=tag, mode=ProtocolMode.FSLITE,
+                                      config=config, scale=scale)
+    recs = _run_keyed(engine, specs)
     rows = []
     req_reductions, traffic_reductions, md_fractions = [], [], []
     for tag in FS_STUDY:
-        base = run_workload(tag, config=config, scale=scale)
-        fsl = run_workload(tag, ProtocolMode.FSLITE, config=config,
-                           scale=scale)
+        base, fsl = recs[(tag, "base")], recs[(tag, "fsl")]
         req_red = 1 - fsl.stats.l1_requests / max(1, base.stats.l1_requests)
         traffic_red = 1 - fsl.stats.total_bytes / max(1, base.stats.total_bytes)
         md_frac = fsl.stats.metadata_messages / max(1, fsl.stats.total_messages)
@@ -249,22 +316,28 @@ def traffic_reduction(scale: float = 1.0,
                  "metadata_msg_fraction"],
         rows=rows,
         summary={"mean_request_reduction":
-                 sum(req_reductions) / len(req_reductions)})
+                 sum(req_reductions) / len(req_reductions)},
+        specs=list(specs.values()))
 
 
 def sam_size(scale: float = 1.0,
-             config: Optional[SystemConfig] = None) -> ExperimentResult:
+             config: Optional[SystemConfig] = None,
+             engine: Optional[Engine] = None) -> ExperimentResult:
     """SAM-table size sensitivity: 128 vs 256 entries per slice
     (paper: ~0.13% valid-entry replacement rate; no perf difference)."""
     config = config or SystemConfig()
+    big = config.with_protocol(sam_sets=16)  # 16x16 = 256 entries
+    specs: Dict[object, RunSpec] = {}
+    for tag in FS_STUDY:
+        specs[(tag, 128)] = RunSpec(tag=tag, mode=ProtocolMode.FSLITE,
+                                    config=config, scale=scale)
+        specs[(tag, 256)] = RunSpec(tag=tag, mode=ProtocolMode.FSLITE,
+                                    config=big, scale=scale)
+    recs = _run_keyed(engine, specs)
     rows = []
     rels, rates = [], []
     for tag in FS_STUDY:
-        r128 = run_workload(tag, ProtocolMode.FSLITE, config=config,
-                            scale=scale)
-        big = config.with_protocol(sam_sets=16)  # 16x16 = 256 entries
-        r256 = run_workload(tag, ProtocolMode.FSLITE, config=big,
-                            scale=scale)
+        r128, r256 = recs[(tag, 128)], recs[(tag, 256)]
         rel = r128.cycles / r256.cycles
         rate = _sam_replacement_rate(r128)
         rels.append(rel)
@@ -277,7 +350,8 @@ def sam_size(scale: float = 1.0,
              "(paper: no difference; replacement rate 0.13%)",
         headers=["app", "rel_speedup_256", "valid_replacement_rate"],
         rows=rows, summary={"mean_replacement_rate":
-                            sum(rates) / len(rates)})
+                            sum(rates) / len(rates)},
+        specs=list(specs.values()))
 
 
 def _sam_replacement_rate(record: RunRecord) -> float:
@@ -295,17 +369,22 @@ def _sam_replacement_rate(record: RunRecord) -> float:
 
 
 def reader_opt(scale: float = 1.0,
-               config: Optional[SystemConfig] = None) -> ExperimentResult:
+               config: Optional[SystemConfig] = None,
+               engine: Optional[Engine] = None) -> ExperimentResult:
     """Reader-metadata optimization: same privatizations, 25% narrower SAM."""
     config = config or SystemConfig()
     opt_cfg = config.with_protocol(reader_metadata_opt=True)
+    specs: Dict[object, RunSpec] = {}
+    for tag in FS_STUDY:
+        specs[(tag, "full")] = RunSpec(tag=tag, mode=ProtocolMode.FSLITE,
+                                       config=config, scale=scale)
+        specs[(tag, "opt")] = RunSpec(tag=tag, mode=ProtocolMode.FSLITE,
+                                      config=opt_cfg, scale=scale)
+    recs = _run_keyed(engine, specs)
     rows = []
     same = True
     for tag in FS_STUDY:
-        full = run_workload(tag, ProtocolMode.FSLITE, config=config,
-                            scale=scale)
-        opt = run_workload(tag, ProtocolMode.FSLITE, config=opt_cfg,
-                           scale=scale)
+        full, opt = recs[(tag, "full")], recs[(tag, "opt")]
         equal = full.stats.privatizations == opt.stats.privatizations
         same = same and equal
         rows.append([tag, full.stats.privatizations,
@@ -323,24 +402,33 @@ def reader_opt(scale: float = 1.0,
         summary={"sam_entry_bits_full": full_bits,
                  "sam_entry_bits_opt": opt_bits,
                  "storage_saving": saving,
-                 "all_equal": float(same)})
+                 "all_equal": float(same)},
+        specs=list(specs.values()))
 
 
 def granularity(scale: float = 1.0,
-                config: Optional[SystemConfig] = None) -> ExperimentResult:
+                config: Optional[SystemConfig] = None,
+                engine: Optional[Engine] = None) -> ExperimentResult:
     """Coarse-grain metadata tracking at 2- and 4-byte granularity
     (paper: no performance degradation)."""
     config = config or SystemConfig()
+    specs: Dict[object, RunSpec] = {}
+    for tag in FS_STUDY:
+        specs[(tag, 1)] = RunSpec(tag=tag, mode=ProtocolMode.FSLITE,
+                                  config=config, scale=scale)
+        specs[(tag, 2)] = RunSpec(
+            tag=tag, mode=ProtocolMode.FSLITE, scale=scale,
+            config=config.with_protocol(tracking_granularity=2))
+        specs[(tag, 4)] = RunSpec(
+            tag=tag, mode=ProtocolMode.FSLITE, scale=scale,
+            config=config.with_protocol(tracking_granularity=4))
+    recs = _run_keyed(engine, specs)
     rows = []
     rel2, rel4 = [], []
     for tag in FS_STUDY:
-        g1 = run_workload(tag, ProtocolMode.FSLITE, config=config,
-                          scale=scale)
-        g2 = run_workload(tag, ProtocolMode.FSLITE, scale=scale,
-                          config=config.with_protocol(tracking_granularity=2))
-        g4 = run_workload(tag, ProtocolMode.FSLITE, scale=scale,
-                          config=config.with_protocol(tracking_granularity=4))
-        r2, r4 = g1.cycles / g2.cycles, g1.cycles / g4.cycles
+        g1 = recs[(tag, 1)]
+        r2 = g1.cycles / recs[(tag, 2)].cycles
+        r4 = g1.cycles / recs[(tag, 4)].cycles
         rel2.append(r2)
         rel4.append(r4)
         rows.append([tag, round(r2, 3), round(r4, 3)])
@@ -350,31 +438,37 @@ def granularity(scale: float = 1.0,
              "(paper: no degradation)",
         headers=["app", "rel_2B", "rel_4B"], rows=rows,
         summary={"rel2_geomean": geomean(rel2),
-                 "rel4_geomean": geomean(rel4)})
+                 "rel4_geomean": geomean(rel4)},
+        specs=list(specs.values()))
 
 
 def big_l1d(scale: float = 1.0,
-            config: Optional[SystemConfig] = None) -> ExperimentResult:
+            config: Optional[SystemConfig] = None,
+            engine: Optional[Engine] = None) -> ExperimentResult:
     """Iso-storage (128 KB L1D baseline) and large-private-cache (512 KB)
     comparisons (paper: FSLite@32KB still 1.21X vs baseline@128KB over all
     14 apps; FSLite keeps 1.39X with 512 KB L1D)."""
     config = config or SystemConfig()
     big = config.with_l1_size(128 * 1024)
     huge = config.with_l1_size(512 * 1024)
+    specs: Dict[object, RunSpec] = {}
+    for tag in FS_WORKLOADS + NO_FS_WORKLOADS:
+        specs[(tag, "base128")] = RunSpec(tag=tag, config=big, scale=scale)
+        specs[(tag, "fsl32")] = RunSpec(tag=tag, mode=ProtocolMode.FSLITE,
+                                        config=config, scale=scale)
+    for tag in FS_WORKLOADS:
+        specs[(tag, "base512")] = RunSpec(tag=tag, config=huge, scale=scale)
+        specs[(tag, "fsl512")] = RunSpec(tag=tag, mode=ProtocolMode.FSLITE,
+                                         config=huge, scale=scale)
+    recs = _run_keyed(engine, specs)
     rows = []
     iso, big_fsl = [], []
     for tag in FS_WORKLOADS + NO_FS_WORKLOADS:
-        base128 = run_workload(tag, config=big, scale=scale)
-        fsl32 = run_workload(tag, ProtocolMode.FSLITE, config=config,
-                             scale=scale)
-        s = base128.cycles / fsl32.cycles
+        s = recs[(tag, "base128")].cycles / recs[(tag, "fsl32")].cycles
         iso.append(s)
         rows.append([tag, round(s, 3), ""])
     for tag in FS_WORKLOADS:
-        base512 = run_workload(tag, config=huge, scale=scale)
-        fsl512 = run_workload(tag, ProtocolMode.FSLITE, config=huge,
-                              scale=scale)
-        s = base512.cycles / fsl512.cycles
+        s = recs[(tag, "base512")].cycles / recs[(tag, "fsl512")].cycles
         big_fsl.append(s)
     rows.append(["geomean(iso)", round(geomean(iso), 3), ""])
     rows.append(["geomean(512K FS)", "", round(geomean(big_fsl), 3)])
@@ -384,27 +478,36 @@ def big_l1d(scale: float = 1.0,
         headers=["app", "fslite32_vs_base128", "fslite_vs_base_at_512K"],
         rows=rows,
         summary={"iso_geomean": geomean(iso),
-                 "fs512_geomean": geomean(big_fsl)})
+                 "fs512_geomean": geomean(big_fsl)},
+        specs=list(specs.values()))
 
 
 def ooo(scale: float = 1.0,
-        config: Optional[SystemConfig] = None) -> ExperimentResult:
+        config: Optional[SystemConfig] = None,
+        engine: Optional[Engine] = None) -> ExperimentResult:
     """Out-of-order cores (paper: OoO baseline 5.1X over in-order; FSLite
     1.63X over the OoO baseline; 1.56X in-order for the same six apps)."""
     tags = ["BS", "LL", "LR", "LT", "RC", "SM"]
+    specs: Dict[object, RunSpec] = {}
+    for tag in tags:
+        specs[(tag, "base_io")] = RunSpec(tag=tag, config=config,
+                                          scale=scale)
+        specs[(tag, "base_ooo")] = RunSpec(tag=tag, config=config,
+                                           scale=scale, core_model="ooo")
+        specs[(tag, "fsl_io")] = RunSpec(tag=tag, mode=ProtocolMode.FSLITE,
+                                         config=config, scale=scale)
+        specs[(tag, "fsl_ooo")] = RunSpec(tag=tag, mode=ProtocolMode.FSLITE,
+                                          config=config, scale=scale,
+                                          core_model="ooo")
+    recs = _run_keyed(engine, specs)
     rows = []
     ooo_gain, fsl_ooo, fsl_inorder = [], [], []
     for tag in tags:
-        base_io = run_workload(tag, config=config, scale=scale)
-        base_ooo = run_workload(tag, config=config, scale=scale,
-                                core_model="ooo")
-        fsl_io = run_workload(tag, ProtocolMode.FSLITE, config=config,
-                              scale=scale)
-        fsl_o = run_workload(tag, ProtocolMode.FSLITE, config=config,
-                             scale=scale, core_model="ooo")
+        base_io = recs[(tag, "base_io")]
+        base_ooo = recs[(tag, "base_ooo")]
         g = base_io.cycles / base_ooo.cycles
-        so = base_ooo.cycles / fsl_o.cycles
-        si = base_io.cycles / fsl_io.cycles
+        so = base_ooo.cycles / recs[(tag, "fsl_ooo")].cycles
+        si = base_io.cycles / recs[(tag, "fsl_io")].cycles
         ooo_gain.append(g)
         fsl_ooo.append(so)
         fsl_inorder.append(si)
@@ -418,7 +521,8 @@ def ooo(scale: float = 1.0,
                  "fslite_inorder"],
         rows=rows,
         summary={"ooo_gain_geomean": geomean(ooo_gain),
-                 "fslite_ooo_geomean": geomean(fsl_ooo)})
+                 "fslite_ooo_geomean": geomean(fsl_ooo)},
+        specs=list(specs.values()))
 
 
 def table2_overheads(config: Optional[SystemConfig] = None
@@ -448,7 +552,8 @@ def table2_overheads(config: Optional[SystemConfig] = None
 # ------------------------------------------------------------- ablations
 
 def ablation(flag: str, scale: float = 1.0, tags: Optional[List[str]] = None,
-             config: Optional[SystemConfig] = None) -> ExperimentResult:
+             config: Optional[SystemConfig] = None,
+             engine: Optional[Engine] = None) -> ExperimentResult:
     """Disable one design feature and compare FSLite against full FSLite.
 
     ``flag`` is one of ``hysteresis``, ``metadata_reset``.
@@ -461,13 +566,17 @@ def ablation(flag: str, scale: float = 1.0, tags: Optional[List[str]] = None,
     else:
         raise ValueError(f"unknown ablation flag {flag!r}")
     tags = tags or FS_STUDY
+    specs: Dict[object, RunSpec] = {}
+    for tag in tags:
+        specs[(tag, "on")] = RunSpec(tag=tag, mode=ProtocolMode.FSLITE,
+                                     config=config, scale=scale)
+        specs[(tag, "off")] = RunSpec(tag=tag, mode=ProtocolMode.FSLITE,
+                                      config=off, scale=scale)
+    recs = _run_keyed(engine, specs)
     rows = []
     rels = []
     for tag in tags:
-        on = run_workload(tag, ProtocolMode.FSLITE, config=config,
-                          scale=scale)
-        woff = run_workload(tag, ProtocolMode.FSLITE, config=off,
-                            scale=scale)
+        on, woff = recs[(tag, "on")], recs[(tag, "off")]
         rel = woff.cycles / on.cycles  # >1 means the feature helps
         rels.append(rel)
         rows.append([tag, round(rel, 3), on.stats.privatizations,
@@ -476,4 +585,5 @@ def ablation(flag: str, scale: float = 1.0, tags: Optional[List[str]] = None,
     return ExperimentResult(
         name=f"Ablation: {flag} disabled (slowdown factor vs full FSLite)",
         headers=["app", "slowdown_without", "priv_with", "priv_without"],
-        rows=rows, summary={"geomean_slowdown": geomean(rels)})
+        rows=rows, summary={"geomean_slowdown": geomean(rels)},
+        specs=list(specs.values()))

@@ -1,17 +1,29 @@
-"""Result export: CSV emission and run-record flattening.
+"""Result export: CSV emission, record flattening and JSON round-trip.
 
 The paper's artifact consolidates gem5 stats into per-experiment CSV files
 that the plotting scripts consume; this module provides the same shape for
-our runs so results can be post-processed outside Python.
+our runs so results can be post-processed outside Python.  The JSON side
+(:func:`records_to_json` / :func:`records_from_json`) round-trips complete
+``RunRecord`` + ``RunSpec`` pairs — it is what the engine's persistent
+result cache stores and what BENCH_*.json-style trajectories can consume.
 """
 
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
-from typing import Dict, Iterable, List, Optional
+import json
+from typing import Any, Dict, Iterable, List, Optional
 
-from repro.harness.runner import RunRecord
+from repro.coherence.states import ProtocolMode
+from repro.core.report import (
+    ContendedLineReport,
+    FalseSharingReport,
+    TrueSharingConflict,
+)
+from repro.harness.runner import RunRecord, RunSpec
+from repro.system.stats import SimStats
 
 
 def flatten_record(record: RunRecord) -> Dict[str, object]:
@@ -61,6 +73,105 @@ def records_to_csv(records: Iterable[RunRecord],
         with open(path, "w") as handle:
             handle.write(text)
     return text
+
+
+# ------------------------------------------------------- JSON round-trip
+
+#: Report dataclasses that may appear in ``stats.reports`` / ``stats.extra``.
+_REPORT_TYPES = {cls.__name__: cls for cls in
+                 (FalseSharingReport, ContendedLineReport,
+                  TrueSharingConflict)}
+
+
+def _encode(value: Any) -> Any:
+    """JSON-safe encoding of stats values (reports, sets, nested dicts)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (set, frozenset)):
+        return {"__frozenset__": sorted(_encode(v) for v in value)}
+    if isinstance(value, (list, tuple)):
+        return [_encode(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _encode(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and type(value).__name__ in _REPORT_TYPES:
+        return {"__report__": type(value).__name__,
+                "fields": {f.name: _encode(getattr(value, f.name))
+                           for f in dataclasses.fields(value)}}
+    return {"__str__": str(value)}  # last resort: lossy but loadable
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    if isinstance(value, dict):
+        if "__frozenset__" in value:
+            return frozenset(_decode(v) for v in value["__frozenset__"])
+        if "__report__" in value:
+            cls = _REPORT_TYPES[value["__report__"]]
+            return cls(**{k: _decode(v)
+                          for k, v in value["fields"].items()})
+        if "__str__" in value:
+            return value["__str__"]
+        return {k: _decode(v) for k, v in value.items()}
+    return value
+
+
+def record_to_dict(record: RunRecord) -> Dict[str, Any]:
+    """JSON-safe plain-dict form of a record (inverse of
+    :func:`record_from_dict`)."""
+    stats = record.stats
+    return {
+        "tag": record.tag,
+        "mode": record.mode.value,
+        "layout": record.layout,
+        "cycles": record.cycles,
+        "core_model": record.core_model,
+        "extra": _encode(record.extra),
+        "spec": record.spec.to_dict() if record.spec is not None else None,
+        "stats": {
+            "cycles": stats.cycles,
+            "per_core": _encode(stats.per_core),
+            "per_slice": _encode(stats.per_slice),
+            "network": _encode(stats.network),
+            "energy": _encode(stats.energy),
+            "reports": _encode(stats.reports),
+            "extra": _encode(stats.extra),
+        },
+    }
+
+
+def record_from_dict(data: Dict[str, Any]) -> RunRecord:
+    """Rebuild a full ``RunRecord`` (stats, reports, spec) from JSON data."""
+    raw = data["stats"]
+    stats = SimStats(cycles=raw["cycles"],
+                     per_core=_decode(raw["per_core"]),
+                     per_slice=_decode(raw["per_slice"]),
+                     network=_decode(raw["network"]),
+                     energy=_decode(raw["energy"]),
+                     reports=_decode(raw["reports"]),
+                     extra=_decode(raw["extra"]))
+    spec = RunSpec.from_dict(data["spec"]) if data.get("spec") else None
+    return RunRecord(tag=data["tag"], mode=ProtocolMode(data["mode"]),
+                     layout=data["layout"], cycles=data["cycles"],
+                     stats=stats, core_model=data["core_model"],
+                     extra=_decode(data["extra"]), spec=spec)
+
+
+def records_to_json(records: Iterable[RunRecord],
+                    path: Optional[str] = None, indent: Optional[int] = None
+                    ) -> str:
+    """Serialize records (with their specs) to JSON; optionally write
+    ``path``."""
+    text = json.dumps([record_to_dict(r) for r in records], indent=indent)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text
+
+
+def records_from_json(text: str) -> List[RunRecord]:
+    """Inverse of :func:`records_to_json` (pass the JSON text)."""
+    return [record_from_dict(item) for item in json.loads(text)]
 
 
 def experiment_to_csv(result, path: Optional[str] = None) -> str:

@@ -1,9 +1,23 @@
-"""Run one (workload, protocol, layout, config) combination."""
+"""The unit of work: a :class:`RunSpec` and its execution.
+
+A :class:`RunSpec` is a frozen, hashable description of one simulation —
+(workload, protocol, layout, machine config, threads, scale, seed, core
+model).  Equal specs describe identical, deterministic simulations, so a
+spec is both the dedup key inside an engine batch and (via :meth:`RunSpec.
+digest`) the key of the on-disk result cache.
+
+:func:`execute_spec` performs the actual simulation; the process-parallel,
+memoizing front-end lives in :mod:`repro.harness.engine`.  The historic
+``run_workload(**kwargs)`` entry point remains as a thin compatibility shim
+over ``Engine.run_one(RunSpec(...))``.
+"""
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.coherence.states import ProtocolMode
 from repro.common.config import SystemConfig
@@ -14,6 +28,70 @@ from repro.workloads.registry import make_workload
 
 #: The paper evaluates with 4 child threads on an 8-core machine.
 DEFAULT_THREADS = 4
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Frozen description of one simulation run.
+
+    Two equal specs always produce cycle-for-cycle identical
+    :class:`RunRecord`\\ s (the simulator is deterministic and the workload
+    RNG is seeded from ``seed``), which is what makes batch-level dedup and
+    the persistent result cache sound.
+    """
+
+    tag: str
+    mode: ProtocolMode = ProtocolMode.MESI
+    layout: str = "packed"
+    config: Optional[SystemConfig] = None
+    num_threads: int = DEFAULT_THREADS
+    scale: float = 1.0
+    seed: int = 0
+    core_model: str = "inorder"
+    ooo_window: int = 8
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        # Normalize so RunSpec(tag="ww") == RunSpec(tag="ww",
+        # config=SystemConfig()) — same work, same digest, same cache slot.
+        if self.config is None:
+            object.__setattr__(self, "config", SystemConfig())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe plain-dict form (inverse of :meth:`from_dict`)."""
+        return {
+            "tag": self.tag,
+            "mode": self.mode.value,
+            "layout": self.layout,
+            "config": self.config.to_dict(),
+            "num_threads": self.num_threads,
+            "scale": self.scale,
+            "seed": self.seed,
+            "core_model": self.core_model,
+            "ooo_window": self.ooo_window,
+            "verify": self.verify,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        return cls(
+            tag=data["tag"],
+            mode=ProtocolMode(data["mode"]),
+            layout=data["layout"],
+            config=SystemConfig.from_dict(data["config"]),
+            num_threads=data["num_threads"],
+            scale=data["scale"],
+            seed=data["seed"],
+            core_model=data["core_model"],
+            ooo_window=data["ooo_window"],
+            verify=data["verify"],
+        )
+
+    def digest(self) -> str:
+        """Stable content hash of the spec (identical across processes)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
 
 
 @dataclass
@@ -27,6 +105,8 @@ class RunRecord:
     stats: SimStats
     core_model: str = "inorder"
     extra: dict = field(default_factory=dict)
+    #: The spec that produced this record (None only for hand-built records).
+    spec: Optional[RunSpec] = None
 
     @property
     def l1_miss_rate(self) -> float:
@@ -43,6 +123,29 @@ class RunRecord:
         return self.energy_nj / baseline.energy_nj
 
 
+def execute_spec(spec: RunSpec) -> RunRecord:
+    """Build, run and (optionally) verify the simulation ``spec`` describes.
+
+    ``spec.verify`` checks the final coherent memory image against the
+    workload's expected result — a full end-to-end coherence check on every
+    harness run.  This is the single place simulations actually happen; the
+    engine calls it (possibly in a worker process) and everything else goes
+    through the engine.
+    """
+    workload = make_workload(spec.tag, num_threads=spec.num_threads,
+                             scale=spec.scale, layout=spec.layout,
+                             seed=spec.seed)
+    machine = build_machine(spec.config, spec.mode)
+    machine.attach_programs(workload.programs(), core_model=spec.core_model,
+                            ooo_window=spec.ooo_window)
+    result = Simulator(machine).run()
+    if spec.verify:
+        workload.verify(flush_machine_memory(machine))
+    return RunRecord(tag=spec.tag, mode=spec.mode, layout=spec.layout,
+                     cycles=result.cycles, stats=result.stats,
+                     core_model=spec.core_model, spec=spec)
+
+
 def run_workload(
     tag: str,
     mode: ProtocolMode = ProtocolMode.MESI,
@@ -55,20 +158,18 @@ def run_workload(
     ooo_window: int = 8,
     verify: bool = True,
 ) -> RunRecord:
-    """Build, run and (optionally) verify one workload; returns the record.
+    """Run one workload combination and return its record.
 
-    ``verify=True`` checks the final coherent memory image against the
-    workload's expected result — a full end-to-end coherence check on every
-    harness run.
+    .. deprecated::
+        Compatibility shim over ``Engine.run_one(RunSpec(...))``.  New code
+        should build :class:`RunSpec` batches and submit them through
+        :class:`repro.harness.engine.Engine` to get dedup, caching and
+        process parallelism.
     """
-    config = config or SystemConfig()
-    workload = make_workload(tag, num_threads=num_threads, scale=scale,
-                             layout=layout)
-    machine = build_machine(config, mode)
-    machine.attach_programs(workload.programs(), core_model=core_model,
-                            ooo_window=ooo_window)
-    result = Simulator(machine).run()
-    if verify:
-        workload.verify(flush_machine_memory(machine))
-    return RunRecord(tag=tag, mode=mode, layout=layout, cycles=result.cycles,
-                     stats=result.stats, core_model=core_model)
+    from repro.harness.engine import default_engine
+
+    spec = RunSpec(tag=tag, mode=mode, layout=layout, config=config,
+                   num_threads=num_threads, scale=scale, seed=seed,
+                   core_model=core_model, ooo_window=ooo_window,
+                   verify=verify)
+    return default_engine().run_one(spec)

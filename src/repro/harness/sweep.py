@@ -3,16 +3,21 @@
 Generic helpers to sweep one protocol/system knob across values and collect
 run records — the machinery behind the sensitivity studies (τP, SAM size,
 tracking granularity, L1D capacity) and available for new explorations.
+
+Sweeps are batch-first: the full (value × tag) grid of :class:`RunSpec`\\ s
+is built up front and submitted through one engine batch, so a sweep
+parallelizes across every grid point and shares the engine's result cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.coherence.states import ProtocolMode
 from repro.common.config import SystemConfig
-from repro.harness.runner import RunRecord, run_workload
+from repro.harness.engine import Engine
+from repro.harness.runner import RunRecord, RunSpec
 
 
 @dataclass
@@ -23,6 +28,8 @@ class SweepResult:
     values: List[object]
     tags: List[str]
     records: Dict[object, Dict[str, RunRecord]] = field(default_factory=dict)
+    #: The specs that produced ``records``, same (value, tag) indexing.
+    specs: Dict[object, Dict[str, RunSpec]] = field(default_factory=dict)
 
     def speedup_vs(self, reference_value) -> Dict[object, Dict[str, float]]:
         """Per-value, per-tag speedup relative to ``reference_value``."""
@@ -42,6 +49,22 @@ class SweepResult:
             for value, by_tag in self.records.items()
         }
 
+    def all_records(self) -> List[RunRecord]:
+        """Every record in grid order (useful for bulk export)."""
+        return [self.records[value][tag]
+                for value in self.values for tag in self.tags]
+
+
+def _run_grid(result: SweepResult, engine: Optional[Engine]) -> SweepResult:
+    """Execute ``result.specs`` as one engine batch and fill ``records``."""
+    engine = engine if engine is not None else Engine()
+    flat = [(value, tag, result.specs[value][tag])
+            for value in result.values for tag in result.tags]
+    records = engine.run_many([spec for _, _, spec in flat])
+    for (value, tag, _), record in zip(flat, records):
+        result.records.setdefault(value, {})[tag] = record
+    return result
+
 
 def sweep_protocol_knob(
     knob: str,
@@ -51,6 +74,7 @@ def sweep_protocol_knob(
     base_config: Optional[SystemConfig] = None,
     scale: float = 1.0,
     paired_knobs: Optional[Callable[[object], dict]] = None,
+    engine: Optional[Engine] = None,
 ) -> SweepResult:
     """Sweep one :class:`ProtocolConfig` field across ``values``.
 
@@ -65,11 +89,11 @@ def sweep_protocol_knob(
         if paired_knobs is not None:
             changes.update(paired_knobs(value))
         config = base.with_protocol(**changes)
-        result.records[value] = {
-            tag: run_workload(tag, mode, config=config, scale=scale)
+        result.specs[value] = {
+            tag: RunSpec(tag=tag, mode=mode, config=config, scale=scale)
             for tag in tags
         }
-    return result
+    return _run_grid(result, engine)
 
 
 def sweep_l1_size(
@@ -78,6 +102,7 @@ def sweep_l1_size(
     mode: ProtocolMode = ProtocolMode.MESI,
     base_config: Optional[SystemConfig] = None,
     scale: float = 1.0,
+    engine: Optional[Engine] = None,
 ) -> SweepResult:
     """Sweep the private-cache capacity (the Section VIII-B cache studies)."""
     base = base_config or SystemConfig()
@@ -85,8 +110,8 @@ def sweep_l1_size(
                          tags=list(tags))
     for kb in sizes_kb:
         config = base.with_l1_size(kb * 1024)
-        result.records[kb] = {
-            tag: run_workload(tag, mode, config=config, scale=scale)
+        result.specs[kb] = {
+            tag: RunSpec(tag=tag, mode=mode, config=config, scale=scale)
             for tag in tags
         }
-    return result
+    return _run_grid(result, engine)

@@ -1,10 +1,31 @@
 """Pytest fixtures for the test suite (helpers live in _helpers.py)."""
 
+import pathlib
+
 import pytest
 
 from _helpers import small_config
+
+_TESTS_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Everything under tests/ is the fast tier-1 gate."""
+    for item in items:
+        if _TESTS_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.tier1)
 
 
 @pytest.fixture
 def config():
     return small_config()
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_result_cache(monkeypatch, tmp_path):
+    """Keep the engine's persistent cache out of the user's home dir.
+
+    CLI commands default to caching; during tests each test gets a private
+    cache directory so runs stay independent and leave no residue.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "engine-cache"))

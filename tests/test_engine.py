@@ -1,0 +1,313 @@
+"""Tests of the parallel cached experiment engine.
+
+Covers the acceptance criteria of the engine PR: in-batch dedup, cache
+hit/miss behaviour (including config-change invalidation and the
+code-version stamp), cycle-for-cycle determinism of parallel vs serial
+execution, worker-crash retry with a structured failure, digest stability
+across processes, and a full-figure 100% cache-hit replay.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.coherence.states import ProtocolMode
+from repro.harness import experiments as E
+from repro.harness.engine import CODE_VERSION, Engine, EngineError
+from repro.harness.export import records_from_json, records_to_json
+from repro.harness.runner import RunRecord, RunSpec, execute_spec
+
+SCALE = 0.1
+
+
+def _specs():
+    return [
+        RunSpec(tag="ww", scale=SCALE),
+        RunSpec(tag="ww", mode=ProtocolMode.FSLITE, scale=SCALE),
+        RunSpec(tag="rw", scale=SCALE),
+    ]
+
+
+class TestRunSpec:
+    def test_equal_specs_hash_equal(self):
+        assert RunSpec(tag="ww") == RunSpec(tag="ww")
+        assert hash(RunSpec(tag="ww")) == hash(RunSpec(tag="ww"))
+
+    def test_none_config_normalized(self):
+        explicit = RunSpec(tag="ww")
+        from repro.common.config import SystemConfig
+        assert explicit.config == SystemConfig()
+        assert explicit == RunSpec(tag="ww", config=SystemConfig())
+
+    def test_digest_differs_on_any_field(self):
+        base = RunSpec(tag="ww")
+        assert base.digest() != RunSpec(tag="rw").digest()
+        assert base.digest() != RunSpec(tag="ww", scale=0.5).digest()
+        assert base.digest() != RunSpec(tag="ww", seed=1).digest()
+        cfg = base.config.with_protocol(tau_p=32)
+        assert base.digest() != RunSpec(tag="ww", config=cfg).digest()
+
+    def test_dict_roundtrip(self):
+        spec = RunSpec(tag="ww", mode=ProtocolMode.FSLITE, scale=0.3,
+                       seed=7, core_model="ooo")
+        again = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+        assert again.digest() == spec.digest()
+
+    def test_digest_stable_across_processes(self):
+        """sha256-based digests must not depend on Python's hash salt."""
+        spec = RunSpec(tag="ww", mode=ProtocolMode.FSLITE, scale=0.25)
+        code = ("from repro.harness.runner import RunSpec; "
+                "from repro.coherence.states import ProtocolMode; "
+                "print(RunSpec(tag='ww', mode=ProtocolMode.FSLITE, "
+                "scale=0.25).digest())")
+        out = subprocess.run([sys.executable, "-c", code], check=True,
+                             capture_output=True, text=True,
+                             env=dict(os.environ))
+        assert out.stdout.strip() == spec.digest()
+
+
+class TestDedup:
+    def test_duplicates_simulate_once(self):
+        calls = []
+
+        def executor(spec):
+            calls.append(spec)
+            return execute_spec(spec)
+
+        engine = Engine(executor=executor)
+        spec = RunSpec(tag="ww", scale=SCALE)
+        records = engine.run_many([spec, spec, spec])
+        assert len(calls) == 1
+        assert engine.stats["deduped"] == 2
+        assert engine.stats["executed"] == 1
+        assert records[0] is records[1] is records[2]
+
+    def test_order_preserved_with_mixed_duplicates(self):
+        engine = Engine()
+        a = RunSpec(tag="ww", scale=SCALE)
+        b = RunSpec(tag="rw", scale=SCALE)
+        records = engine.run_many([a, b, a])
+        assert [r.tag for r in records] == ["ww", "rw", "ww"]
+        assert records[0].cycles == records[2].cycles
+
+
+class TestCache:
+    def test_hit_after_miss(self, tmp_path):
+        spec = RunSpec(tag="ww", scale=SCALE)
+        first = Engine(cache_dir=tmp_path)
+        rec1 = first.run_one(spec)
+        assert first.stats == {"executed": 1, "cache_hits": 0,
+                               "deduped": 0, "retries": 0}
+        second = Engine(cache_dir=tmp_path)
+        rec2 = second.run_one(spec)
+        assert second.stats["cache_hits"] == 1
+        assert second.stats["executed"] == 0
+        assert rec2.cycles == rec1.cycles
+        assert rec2.stats.summary() == rec1.stats.summary()
+        assert rec2.spec == spec
+
+    def test_config_change_misses(self, tmp_path):
+        spec = RunSpec(tag="ww", scale=SCALE)
+        engine = Engine(cache_dir=tmp_path)
+        engine.run_one(spec)
+        changed = RunSpec(tag="ww", scale=SCALE,
+                          config=spec.config.with_protocol(tau_p=32))
+        engine.run_one(changed)
+        assert engine.stats["executed"] == 2
+        assert engine.stats["cache_hits"] == 0
+
+    def test_code_version_invalidates(self, tmp_path):
+        spec = RunSpec(tag="ww", scale=SCALE)
+        Engine(cache_dir=tmp_path).run_one(spec)
+        path = tmp_path / f"{spec.digest()}.json"
+        stale = json.loads(path.read_text())
+        stale["code_version"] = f"{CODE_VERSION}-stale"
+        path.write_text(json.dumps(stale))
+        engine = Engine(cache_dir=tmp_path)
+        engine.run_one(spec)
+        assert engine.stats["executed"] == 1  # stale entry re-simulated
+        assert json.loads(path.read_text())["code_version"] == CODE_VERSION
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        spec = RunSpec(tag="ww", scale=SCALE)
+        Engine(cache_dir=tmp_path).run_one(spec)
+        (tmp_path / f"{spec.digest()}.json").write_text("{not json")
+        engine = Engine(cache_dir=tmp_path)
+        rec = engine.run_one(spec)
+        assert engine.stats["executed"] == 1
+        assert rec.cycles > 0
+
+    def test_unusable_cache_dir_is_a_clean_error(self, tmp_path):
+        from repro.common.errors import ReproError
+        not_a_dir = tmp_path / "occupied"
+        not_a_dir.write_text("file, not a directory")
+        engine = Engine(cache_dir=not_a_dir)
+        with pytest.raises(ReproError, match="unusable"):
+            engine.run_one(RunSpec(tag="ww", scale=SCALE))
+
+    def test_no_cache_dir_never_writes(self, tmp_path):
+        engine = Engine()
+        engine.run_one(RunSpec(tag="ww", scale=SCALE))
+        engine.run_one(RunSpec(tag="ww", scale=SCALE))
+        assert engine.stats["cache_hits"] == 0
+        assert engine.stats["executed"] == 2
+
+
+class TestParallel:
+    def test_parallel_matches_serial_exactly(self):
+        specs = _specs()
+        serial = Engine(jobs=1).run_many(specs)
+        parallel = Engine(jobs=2).run_many(specs)
+        for s_rec, p_rec in zip(serial, parallel):
+            assert p_rec.cycles == s_rec.cycles
+            assert p_rec.stats.summary() == s_rec.stats.summary()
+            assert p_rec.stats.per_core == s_rec.stats.per_core
+            assert p_rec.stats.network == s_rec.stats.network
+
+    def test_parallel_fills_cache(self, tmp_path):
+        specs = _specs()
+        first = Engine(jobs=2, cache_dir=tmp_path)
+        first.run_many(specs)
+        assert first.stats["executed"] == len(specs)
+        second = Engine(jobs=2, cache_dir=tmp_path)
+        second.run_many(specs)
+        assert second.stats["cache_hits"] == len(specs)
+        assert second.stats["executed"] == 0
+
+    def test_parallel_failure_surfaces_engine_error(self):
+        bad = RunSpec(tag="ww", scale=SCALE, core_model="no-such-core")
+        with pytest.raises(EngineError) as info:
+            Engine(jobs=2).run_many([bad, RunSpec(tag="ww", scale=SCALE)])
+        assert info.value.spec == bad
+        assert info.value.attempts == 2
+        assert bad.digest() in str(info.value)
+
+
+class TestRetry:
+    def test_crash_retried_once_then_succeeds(self):
+        attempts = []
+
+        def flaky(spec):
+            attempts.append(spec)
+            if len(attempts) == 1:
+                raise RuntimeError("simulated worker crash")
+            return execute_spec(spec)
+
+        engine = Engine(executor=flaky)
+        record = engine.run_one(RunSpec(tag="ww", scale=SCALE))
+        assert len(attempts) == 2
+        assert engine.stats["retries"] == 1
+        assert record.cycles > 0
+
+    def test_persistent_failure_is_structured(self):
+        def broken(spec):
+            raise RuntimeError("boom")
+
+        spec = RunSpec(tag="ww", scale=SCALE)
+        engine = Engine(executor=broken)
+        with pytest.raises(EngineError) as info:
+            engine.run_one(spec)
+        err = info.value
+        assert err.spec == spec
+        assert err.attempts == 2
+        assert isinstance(err.cause, RuntimeError)
+        assert engine.stats["retries"] == 1
+
+
+class TestProgress:
+    def test_callback_sees_runs_and_cache_hits(self, tmp_path):
+        events = []
+
+        def progress(done, total, spec, seconds, source):
+            events.append((done, total, spec.tag, source))
+
+        spec = RunSpec(tag="ww", scale=SCALE)
+        Engine(cache_dir=tmp_path, progress=progress).run_one(spec)
+        Engine(cache_dir=tmp_path, progress=progress).run_one(spec)
+        assert events == [(1, 1, "ww", "run"), (1, 1, "ww", "cache")]
+
+    def test_timings_recorded(self):
+        engine = Engine()
+        spec = RunSpec(tag="ww", scale=SCALE)
+        engine.run_one(spec)
+        assert engine.timings[spec.digest()] > 0
+
+
+class TestJsonRoundTrip:
+    def test_record_roundtrips_with_spec(self):
+        spec = RunSpec(tag="ww", mode=ProtocolMode.FSDETECT, scale=0.3)
+        record = execute_spec(spec)
+        (again,) = records_from_json(records_to_json([record]))
+        assert isinstance(again, RunRecord)
+        assert again.spec == spec
+        assert again.cycles == record.cycles
+        assert again.stats.summary() == record.stats.summary()
+        # Reports survive as real dataclasses, not strings.
+        assert len(again.stats.reports) == len(record.stats.reports)
+        for orig, back in zip(record.stats.reports, again.stats.reports):
+            assert back == orig
+
+    def test_json_file_written(self, tmp_path):
+        record = execute_spec(RunSpec(tag="ww", scale=SCALE))
+        path = tmp_path / "records.json"
+        records_to_json([record], str(path))
+        assert records_from_json(path.read_text())[0].cycles == record.cycles
+
+
+class TestExperimentCaching:
+    def test_fig14_replay_hits_cache_for_every_spec(self, tmp_path):
+        """Acceptance: a repeated fig14 run is served 100% from cache."""
+        first = Engine(cache_dir=tmp_path)
+        r1 = E.fig14_speedup_energy(scale=SCALE, engine=first)
+        assert first.stats["executed"] > 0
+        second = Engine(cache_dir=tmp_path)
+        r2 = E.fig14_speedup_energy(scale=SCALE, engine=second)
+        assert second.stats["executed"] == 0
+        assert second.stats["cache_hits"] == len(set(r2.specs))
+        assert r2.rows == r1.rows
+        assert r2.summary == r1.summary
+
+    def test_experiment_carries_specs(self):
+        result = E.fig13_miss_fraction(scale=SCALE)
+        assert len(result.specs) == 8
+        assert all(isinstance(s, RunSpec) for s in result.specs)
+
+    def test_drivers_share_baselines_via_cache(self, tmp_path):
+        """fig13's MESI baselines are exactly fig02's — the cache dedups
+        across figures, which is the engine's reason to exist."""
+        engine = Engine(cache_dir=tmp_path)
+        E.fig13_miss_fraction(scale=SCALE, engine=engine)
+        executed_before = engine.stats["executed"]
+        E.fig02_manual_fix(scale=SCALE, engine=engine)
+        # fig02 adds only the 8 padded runs; its 8 baselines are cache hits.
+        assert engine.stats["executed"] == executed_before + 8
+        assert engine.stats["cache_hits"] == 8
+
+
+class TestCliEngineFlags:
+    def test_run_no_cache(self, capsys):
+        from repro.cli import main
+        assert main(["run", "ww", "--scale", "0.1", "--no-cache"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_experiment_cache_dir_and_progress(self, tmp_path, capsys):
+        from repro.cli import main
+        cache = str(tmp_path / "cache")
+        argv = ["experiment", "fig13", "--scale", "0.1",
+                "--cache-dir", cache, "--progress"]
+        assert main(argv) == 0
+        first_err = capsys.readouterr().err
+        assert "[8/8]" in first_err
+        assert main(argv) == 0
+        second_err = capsys.readouterr().err
+        assert second_err.count("(cached)") == 8
+
+    def test_compare_batches_through_engine(self, capsys):
+        from repro.cli import main
+        assert main(["compare", "ww", "--scale", "0.1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "fslite" in out and "manual-fix" in out

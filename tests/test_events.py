@@ -67,6 +67,38 @@ class TestCancel:
         ev.cancel()
         assert q.empty()
 
+    def test_double_cancel_keeps_count_consistent(self):
+        q = EventQueue()
+        ev = q.schedule(5, lambda: None)
+        live = q.schedule(6, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert not q.empty()
+        live.cancel()
+        assert q.empty()
+
+    def test_cancel_after_fire_keeps_count_consistent(self):
+        q = EventQueue()
+        fired = []
+        ev = q.schedule(1, lambda: fired.append(True))
+        q.run()
+        assert fired == [True]
+        assert q.empty()
+        ev.cancel()  # too late: must not corrupt the live count
+        assert q.empty()
+        q.schedule(1, lambda: None)
+        assert not q.empty()
+
+    def test_empty_tracks_mixed_schedule_cancel_run(self):
+        q = EventQueue()
+        events = [q.schedule(i + 1, lambda: None) for i in range(100)]
+        assert not q.empty()
+        for ev in events[::2]:
+            ev.cancel()
+        assert not q.empty()
+        q.run()
+        assert q.empty()
+
 
 class TestRunLimits:
     def test_run_until(self):

@@ -72,3 +72,21 @@ class TestSweep:
         res = sweep_l1_size([32, 128], tags=["BL"], scale=0.1)
         assert set(res.records) == {32, 128}
         assert res.records[32]["BL"].cycles > 0
+
+    def test_sweep_carries_specs_and_shares_engine_cache(self, tmp_path):
+        from repro.harness.engine import Engine
+        engine = Engine(cache_dir=tmp_path)
+        res = sweep_protocol_knob(
+            "tau_p", [16, 64], tags=["ww"], scale=0.2,
+            paired_knobs=lambda v: {"tau_r1": v}, engine=engine)
+        assert set(res.specs) == {16, 64}
+        assert res.specs[64]["ww"].config.protocol.tau_p == 64
+        assert res.records[64]["ww"].spec == res.specs[64]["ww"]
+        assert engine.stats["executed"] == 2
+        assert len(res.all_records()) == 2
+        # A repeat of the same sweep is served entirely from the cache.
+        sweep_protocol_knob(
+            "tau_p", [16, 64], tags=["ww"], scale=0.2,
+            paired_knobs=lambda v: {"tau_r1": v}, engine=engine)
+        assert engine.stats["executed"] == 2
+        assert engine.stats["cache_hits"] == 2
