@@ -1,0 +1,49 @@
+"""Online protocol checking and random protocol testing.
+
+Two tools live here:
+
+* :mod:`repro.check.sanitizer` — an online invariant checker that observes
+  a machine through the network's post-send/post-deliver hooks and, after
+  every transition that leaves a block quiescent, asserts the stable-state
+  invariants of the protocol (directory/L1 agreement, SWMR outside PRV,
+  PAM/SAM consistency inside PRV, data-value checks, counter bounds,
+  transient-context age limits).
+* :mod:`repro.check.fuzz` — a random protocol tester that drives
+  randomized per-line load/store/RMW/evict streams across the three
+  protocol modes with the sanitizer enabled, and delta-debugs any failing
+  schedule down to a minimal reproducing pytest case.
+"""
+
+from repro.check.sanitizer import InvariantViolation, Sanitizer
+from repro.check.mutations import MUTATIONS, mutation_context
+from repro.check.fuzz import (
+    CampaignResult,
+    FuzzFailure,
+    FuzzFinding,
+    FuzzOp,
+    FuzzReport,
+    fuzz_campaign,
+    fuzz_config,
+    make_schedule,
+    render_pytest_repro,
+    run_schedule,
+    shrink_schedule,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "Sanitizer",
+    "MUTATIONS",
+    "mutation_context",
+    "CampaignResult",
+    "FuzzFailure",
+    "FuzzFinding",
+    "FuzzOp",
+    "FuzzReport",
+    "fuzz_campaign",
+    "fuzz_config",
+    "make_schedule",
+    "render_pytest_repro",
+    "run_schedule",
+    "shrink_schedule",
+]

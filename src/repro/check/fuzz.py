@@ -1,0 +1,511 @@
+"""Random protocol tester with schedule shrinking.
+
+Generates randomized per-line load/store/RMW/evict schedules, runs them on
+a deliberately stress-prone machine (tiny caches, tiny SAM, τP = 1) with
+the online sanitizer attached, and checks three failure channels:
+
+1. the run itself (invariant violations, protocol errors, deadlocks, and
+   in-program load-value assertions),
+2. the sanitizer's final full pass (``check_all``), and
+3. the flushed final memory image against a reference computed from the
+   schedule alone.
+
+Reference values are computable for *any* sub-schedule because schedules
+are built from single-writer slots (each thread owns one 8-byte slot per
+line) plus commutative fetch-adds on shared words — which is what makes
+delta-debugging (:func:`shrink_schedule`) sound: every subset of a
+schedule is itself a valid program with a known expected outcome.
+
+Schedule families:
+
+* ``disjoint`` — threads touch only their own slots of shared lines: pure
+  false sharing, the FSLite privatization fast path.
+* ``shared``   — threads fetch-add shared words: pure true sharing, which
+  must *not* privatize incorrectly.
+* ``mixed``    — both in the same lines: privatization attempts keep
+  colliding with true sharing (abort/terminate churn).
+
+A failing schedule is shrunk to a minimal reproducing program and rendered
+as a ready-to-paste pytest case by :func:`render_pytest_repro`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.check.mutations import mutation_context
+from repro.check.sanitizer import InvariantViolation, Sanitizer
+from repro.coherence.states import ProtocolMode
+from repro.common.config import CacheConfig, SystemConfig
+from repro.common.errors import ReproError
+from repro.cpu.ops import Op, compute, fetch_add, load, store
+from repro.system.builder import build_machine
+from repro.system.simulator import Simulator, flush_machine_memory
+
+#: Base address of the fuzzed lines (arbitrary, away from zero).
+BASE = 0x40000
+SLOT = 8  # bytes per thread slot / shared word
+
+
+@dataclass(frozen=True)
+class FuzzOp:
+    """One schedule element, executed by thread ``tid`` in list order.
+
+    ``kind``:
+
+    * ``"load"`` / ``"store"`` / ``"rmw"`` — an access of ``size`` bytes at
+      ``offset`` within line ``line`` (``rmw`` is a fetch-add of
+      ``value``; ``store`` writes ``value``).
+    * ``"evict"`` — pressure loads to conflict-mapped private lines that
+      force ``line`` out of the thread's L1.
+    * ``"pause"`` — ``value`` compute cycles (perturbs message timing).
+    """
+
+    tid: int
+    kind: str
+    line: int = 0
+    offset: int = 0
+    size: int = 8
+    value: int = 0
+
+
+@dataclass
+class FuzzFailure:
+    """Why a schedule failed."""
+
+    stage: str  # "invariant" | "run" | "final-image"
+    kind: str   # exception class name, or "mismatch"
+    detail: str
+
+    def describe(self) -> str:
+        return f"[{self.stage}/{self.kind}] {self.detail}"
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one schedule execution."""
+
+    ok: bool
+    failure: Optional[FuzzFailure] = None
+    cycles: int = 0
+    blocks_checked: int = 0
+
+
+@dataclass
+class FuzzFinding:
+    """One failing fuzz case, shrunk and rendered."""
+
+    case_seed: int
+    family: str
+    mode: ProtocolMode
+    mutation: Optional[str]
+    failure: FuzzFailure
+    schedule: List[FuzzOp]
+    shrunk: List[FuzzOp]
+    repro_source: str
+
+
+@dataclass
+class CampaignResult:
+    iterations: int
+    findings: List[FuzzFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+# --------------------------------------------------------------- machine
+
+
+def fuzz_config(num_threads: int = 4) -> SystemConfig:
+    """A stress-prone machine: 2-way 1 KB L1s, a 4-entry SAM and τP = 1,
+    so privatization, conflict aborts, SAM/LLC evictions and terminations
+    all happen within a handful of operations."""
+    return SystemConfig(
+        num_cores=num_threads,
+        l1=CacheConfig(size_bytes=1024, associativity=2),
+        llc=CacheConfig(size_bytes=16 * 1024, associativity=4,
+                        tag_latency=2, data_latency=8),
+        num_llc_slices=2,
+        network_latency=8,
+        memory_latency=60,
+    ).with_protocol(
+        tau_p=1, sam_sets=2, sam_ways=2,
+    ).with_sanitizer(enabled=True, sweep_interval=512)
+
+
+def shared_offsets(num_threads: int, block_size: int = 64) -> List[int]:
+    """Word offsets not owned by any thread (true-sharing targets)."""
+    return list(range(SLOT * num_threads, block_size, SLOT))
+
+
+# ------------------------------------------------------------ generation
+
+
+def make_schedule(
+    family: str,
+    rng: random.Random,
+    num_threads: int = 4,
+    num_lines: int = 3,
+    length: int = 80,
+    block_size: int = 64,
+) -> List[FuzzOp]:
+    """Generate a random schedule of ``length`` ops in ``family``."""
+    if family not in ("disjoint", "shared", "mixed"):
+        raise ValueError(f"unknown fuzz family {family!r}")
+    shared = shared_offsets(num_threads, block_size)
+    ops: List[FuzzOp] = []
+    for _ in range(length):
+        tid = rng.randrange(num_threads)
+        line = rng.randrange(num_lines)
+        if family == "shared":
+            kind = rng.choices(["rmw", "load", "pause"],
+                               weights=[6, 2, 1])[0]
+        else:
+            kind = rng.choices(["store", "load", "rmw", "evict", "pause"],
+                               weights=[5, 4, 2, 2, 1])[0]
+        on_shared = (family == "shared"
+                     or (family == "mixed" and kind in ("load", "rmw")
+                         and rng.random() < 0.4))
+        if kind == "pause":
+            ops.append(FuzzOp(tid, "pause", value=rng.randrange(1, 24)))
+        elif kind == "evict":
+            ops.append(FuzzOp(tid, "evict", line=line))
+        elif on_shared:
+            offset = rng.choice(shared)
+            if kind == "rmw":
+                ops.append(FuzzOp(tid, "rmw", line, offset, SLOT,
+                                  rng.randrange(1, 1 << 16)))
+            else:
+                ops.append(FuzzOp(tid, "load", line, offset, SLOT))
+        else:
+            size = rng.choice((1, 2, 4, 8))
+            offset = SLOT * tid + size * rng.randrange(SLOT // size)
+            if kind == "store":
+                value = rng.randrange(1 << (8 * size))
+                ops.append(FuzzOp(tid, "store", line, offset, size, value))
+            elif kind == "rmw":
+                ops.append(FuzzOp(tid, "rmw", line, offset, size,
+                                  rng.randrange(1, 256)))
+            else:
+                ops.append(FuzzOp(tid, "load", line, offset, size))
+    return ops
+
+
+# ------------------------------------------------------------- execution
+
+
+def _is_shared(op: FuzzOp, num_threads: int) -> bool:
+    return op.offset >= SLOT * num_threads
+
+
+def _build_programs(
+    schedule: List[FuzzOp],
+    num_threads: int,
+    config: SystemConfig,
+) -> Tuple[list, List[Tuple[int, int, str]]]:
+    """Translate a schedule into thread programs plus the expected final
+    image, modelling single-writer slots exactly and shared words as sums.
+
+    Returns ``(programs, expectations)`` where each expectation is
+    ``(addr, want_value, label)`` for one 8-byte word.
+    """
+    block = config.block_size
+    set_span = config.l1.num_sets * block
+    model: Dict[int, bytearray] = {}
+    shared_total: Dict[Tuple[int, int], int] = {}
+    evict_seq: Dict[Tuple[int, int], int] = {}
+    per_thread: List[List[Tuple[Op, Optional[int], str]]] = [
+        [] for _ in range(num_threads)]
+
+    def line_model(line: int) -> bytearray:
+        if line not in model:
+            model[line] = bytearray(block)
+        return model[line]
+
+    for index, fop in enumerate(schedule):
+        label = f"op[{index}] {fop.kind} t{fop.tid}"
+        if fop.kind == "pause":
+            per_thread[fop.tid].append((compute(fop.value), None, label))
+            continue
+        if fop.kind == "evict":
+            # Loads to never-written private lines that conflict-map to the
+            # same L1 set as the target line; enough of them displace it.
+            seq = evict_seq.get((fop.tid, fop.line), 0)
+            evict_seq[(fop.tid, fop.line)] = seq + 1
+            base = BASE + fop.line * block
+            ways = config.l1.associativity
+            for k in range(ways):
+                slot = 1 + (fop.tid * 64 + seq) * ways + k
+                addr = base + slot * set_span
+                per_thread[fop.tid].append(
+                    (load(addr, size=SLOT), 0, f"{label} pressure#{k}"))
+            continue
+        addr = BASE + fop.line * block + fop.offset
+        data = line_model(fop.line)
+        lo, hi = fop.offset, fop.offset + fop.size
+        if fop.kind == "store":
+            data[lo:hi] = fop.value.to_bytes(fop.size, "little")
+            per_thread[fop.tid].append(
+                (store(addr, fop.value, size=fop.size), None, label))
+        elif fop.kind == "rmw":
+            if _is_shared(fop, num_threads):
+                key = (fop.line, fop.offset)
+                shared_total[key] = shared_total.get(key, 0) + fop.value
+                per_thread[fop.tid].append(
+                    (fetch_add(addr, fop.value, size=fop.size), None, label))
+            else:
+                old = int.from_bytes(data[lo:hi], "little")
+                new = (old + fop.value) & ((1 << (8 * fop.size)) - 1)
+                data[lo:hi] = new.to_bytes(fop.size, "little")
+                per_thread[fop.tid].append(
+                    (fetch_add(addr, fop.value, size=fop.size), old, label))
+        else:  # load
+            if _is_shared(fop, num_threads):
+                expected = None  # racing adds: value not predictable
+            else:
+                expected = int.from_bytes(data[lo:hi], "little")
+            per_thread[fop.tid].append(
+                (load(addr, size=fop.size), expected, label))
+
+    expectations: List[Tuple[int, int, str]] = []
+    for line, data in sorted(model.items()):
+        base = BASE + line * block
+        for off in range(0, block, SLOT):
+            key = (line, off)
+            if key in shared_total:
+                want = shared_total[key] & ((1 << (8 * SLOT)) - 1)
+            else:
+                want = int.from_bytes(data[off:off + SLOT], "little")
+            expectations.append(
+                (base + off, want, f"line {line} offset {off}"))
+
+    def make_program(items):
+        def program():
+            for op, expected, label in items:
+                result = yield op
+                if expected is not None and result != expected:
+                    raise AssertionError(
+                        f"{label}: loaded {result:#x}, expected "
+                        f"{expected:#x}")
+        return program()
+
+    return [make_program(items) for items in per_thread], expectations
+
+
+def run_schedule(
+    schedule: List[FuzzOp],
+    mode: ProtocolMode = ProtocolMode.FSLITE,
+    num_threads: int = 4,
+    config: Optional[SystemConfig] = None,
+    sanitize: bool = True,
+    mutation: Optional[str] = None,
+    max_events: int = 5_000_000,
+) -> FuzzReport:
+    """Execute one schedule; never raises for protocol failures."""
+    config = config or fuzz_config(num_threads)
+    with mutation_context(mutation):
+        machine = build_machine(config, mode)
+        programs, expectations = _build_programs(
+            schedule, num_threads, config)
+        machine.attach_programs(programs)
+        sanitizer = Sanitizer(machine) if sanitize else None
+        try:
+            if sanitizer is not None:
+                sanitizer.attach()
+            try:
+                result = Simulator(machine, max_events=max_events).run()
+                if sanitizer is not None:
+                    sanitizer.check_all()
+            except InvariantViolation as exc:
+                return FuzzReport(False, FuzzFailure(
+                    "invariant", type(exc).__name__, str(exc)))
+            except (ReproError, AssertionError) as exc:
+                return FuzzReport(False, FuzzFailure(
+                    "run", type(exc).__name__, str(exc)))
+        finally:
+            if sanitizer is not None:
+                sanitizer.detach()
+        image = flush_machine_memory(machine)
+        for addr, want, label in expectations:
+            base = addr & ~(config.block_size - 1)
+            data = image.get(base, bytes(config.block_size))
+            off = addr - base
+            got = int.from_bytes(data[off:off + SLOT], "little")
+            if got != want:
+                return FuzzReport(False, FuzzFailure(
+                    "final-image", "mismatch",
+                    f"{label}: final value {got:#x}, expected {want:#x}"))
+        return FuzzReport(
+            True, cycles=result.cycles,
+            blocks_checked=sanitizer.blocks_checked if sanitizer else 0)
+
+
+# ------------------------------------------------------------- shrinking
+
+
+def shrink_schedule(
+    schedule: List[FuzzOp],
+    still_fails: Callable[[List[FuzzOp]], bool],
+    budget: int = 400,
+) -> List[FuzzOp]:
+    """Delta-debug ``schedule`` to a locally minimal failing sub-schedule.
+
+    ``still_fails`` must be deterministic; dropping elements preserves each
+    thread's relative order, so every candidate is a valid program. Runs
+    classic ddmin, then a greedy one-at-a-time pass, within ``budget``
+    evaluations.
+    """
+    runs = 0
+
+    def fails(candidate: List[FuzzOp]) -> bool:
+        nonlocal runs
+        runs += 1
+        return still_fails(candidate)
+
+    current = list(schedule)
+    chunks = 2
+    while len(current) >= 2 and runs < budget:
+        size = max(1, len(current) // chunks)
+        reduced = False
+        for start in range(0, len(current), size):
+            candidate = current[:start] + current[start + size:]
+            if not candidate or runs >= budget:
+                continue
+            if fails(candidate):
+                current = candidate
+                chunks = max(chunks - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunks >= len(current):
+                break
+            chunks = min(len(current), chunks * 2)
+    # Greedy single-op minimization until a fixed point.
+    improved = True
+    while improved and runs < budget:
+        improved = False
+        for index in range(len(current) - 1, -1, -1):
+            if runs >= budget:
+                break
+            candidate = current[:index] + current[index + 1:]
+            if candidate and fails(candidate):
+                current = candidate
+                improved = True
+    return current
+
+
+# ------------------------------------------------------------- rendering
+
+
+def render_schedule(schedule: List[FuzzOp], indent: str = "        ") -> str:
+    lines = []
+    for op in schedule:
+        args = [str(op.tid), repr(op.kind)]
+        for name in ("line", "offset", "size", "value"):
+            default = FuzzOp.__dataclass_fields__[name].default
+            got = getattr(op, name)
+            if got != default:
+                args.append(f"{name}={got}")
+        lines.append(f"{indent}FuzzOp({', '.join(args)}),")
+    return "\n".join(lines)
+
+
+def render_pytest_repro(
+    schedule: List[FuzzOp],
+    mode: ProtocolMode,
+    mutation: Optional[str],
+    failure: FuzzFailure,
+    case_seed: Optional[int] = None,
+) -> str:
+    """Render a failing schedule as a ready-to-paste pytest case.
+
+    The generated test asserts the schedule *passes*, so it fails while
+    the reproduced bug exists and goes green once it is fixed.
+    """
+    name_bits = [mode.value]
+    if mutation:
+        name_bits.append(mutation.replace("-", "_"))
+    if case_seed is not None:
+        name_bits.append(f"seed{case_seed}")
+    name = "test_fuzz_repro_" + "_".join(name_bits)
+    mutation_arg = f", mutation={mutation!r}" if mutation else ""
+    header = (f"# Shrunk from a {len(schedule)}-op failing fuzz schedule.\n"
+              f"# Failure: {failure.stage}/{failure.kind}")
+    return f'''{header}
+from repro.check.fuzz import FuzzOp, run_schedule
+from repro.coherence.states import ProtocolMode
+
+
+def {name}():
+    schedule = [
+{render_schedule(schedule)}
+    ]
+    report = run_schedule(
+        schedule, mode=ProtocolMode.{mode.name}{mutation_arg})
+    assert report.ok, report.failure.describe()
+'''
+
+
+# -------------------------------------------------------------- campaign
+
+
+FAMILIES = ("disjoint", "shared", "mixed")
+
+
+def fuzz_campaign(
+    iterations: int = 30,
+    seed: int = 0,
+    modes: Optional[List[ProtocolMode]] = None,
+    families: Optional[List[str]] = None,
+    num_threads: int = 4,
+    num_lines: int = 3,
+    length: int = 80,
+    mutation: Optional[str] = None,
+    shrink: bool = True,
+    shrink_budget: int = 400,
+    progress: Optional[Callable[[int, str, ProtocolMode, FuzzReport],
+                                None]] = None,
+) -> CampaignResult:
+    """Run ``iterations`` random schedules; shrink and render any failure.
+
+    Fully deterministic for a given ``seed`` and parameter set.
+    """
+    modes = modes or list(ProtocolMode)
+    families = families or list(FAMILIES)
+    rng = random.Random(seed)
+    result = CampaignResult(iterations=iterations)
+    for index in range(iterations):
+        case_seed = rng.randrange(1 << 32)
+        family = families[index % len(families)]
+        mode = modes[(index // len(families)) % len(modes)]
+        schedule = make_schedule(
+            family, random.Random(case_seed), num_threads=num_threads,
+            num_lines=num_lines, length=length)
+        report = run_schedule(schedule, mode=mode, num_threads=num_threads,
+                              mutation=mutation)
+        if progress is not None:
+            progress(index, family, mode, report)
+        if report.ok:
+            continue
+        shrunk = schedule
+        if shrink:
+            def still_fails(candidate: List[FuzzOp]) -> bool:
+                return not run_schedule(
+                    candidate, mode=mode, num_threads=num_threads,
+                    mutation=mutation).ok
+            shrunk = shrink_schedule(schedule, still_fails,
+                                     budget=shrink_budget)
+        final = run_schedule(shrunk, mode=mode, num_threads=num_threads,
+                             mutation=mutation)
+        failure = final.failure or report.failure
+        result.findings.append(FuzzFinding(
+            case_seed=case_seed, family=family, mode=mode,
+            mutation=mutation, failure=failure, schedule=schedule,
+            shrunk=shrunk,
+            repro_source=render_pytest_repro(
+                shrunk, mode, mutation, failure, case_seed=case_seed)))
+    return result

@@ -9,6 +9,9 @@
 * ``experiment <name>`` — run one paper experiment (fig02, fig13, fig14,
   fig15, fig16, fig17, traffic, sam_size, reader_opt, granularity,
   big_l1d, ooo, table2) and print its table.
+* ``fuzz`` — random protocol testing: drive randomized load/store/RMW/
+  evict schedules through the protocols with the online sanitizer
+  attached, and shrink any failure to a minimal pytest repro.
 * ``list`` — available workloads and experiments.
 
 Every simulating command accepts ``--jobs N`` (fan simulations out over N
@@ -25,7 +28,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.check.fuzz import FAMILIES, fuzz_campaign
+from repro.check.mutations import MUTATIONS
 from repro.coherence.states import ProtocolMode
+from repro.common.config import SystemConfig
 from repro.common.errors import ReproError
 from repro.harness import experiments as E
 from repro.harness.engine import Engine, default_cache_dir
@@ -78,6 +84,9 @@ def _parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--core", default="inorder",
                        choices=["inorder", "ooo"])
+    run_p.add_argument("--sanitize", action="store_true",
+                       help="run with the online protocol sanitizer "
+                            "attached (invariant violations abort the run)")
     run_p.add_argument("--csv", metavar="PATH",
                        help="append the flattened record to a CSV file")
     _add_engine_args(run_p)
@@ -99,6 +108,41 @@ def _parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--progress", action="store_true",
                        help="print per-spec progress/timing to stderr")
     _add_engine_args(exp_p)
+
+    fuzz_p = sub.add_parser("fuzz", help="random protocol testing with the "
+                                         "online sanitizer")
+    fuzz_p.add_argument("--iterations", type=int, default=30, metavar="N",
+                        help="number of random schedules (default 30)")
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; same seed, same campaign")
+    fuzz_p.add_argument("--protocol", default="all",
+                        choices=["all"] + [m.value for m in ProtocolMode],
+                        help="protocol mode(s) to fuzz (default all)")
+    fuzz_p.add_argument("--family", default="all",
+                        choices=["all"] + list(FAMILIES),
+                        help="schedule family (default all)")
+    fuzz_p.add_argument("--mutate", metavar="NAME", default=None,
+                        choices=sorted(MUTATIONS),
+                        help="inject a known protocol mutation "
+                             f"({', '.join(sorted(MUTATIONS))})")
+    fuzz_p.add_argument("--threads", type=int, default=4)
+    fuzz_p.add_argument("--lines", type=int, default=3,
+                        help="distinct cache lines per schedule (default 3)")
+    fuzz_p.add_argument("--length", type=int, default=80,
+                        help="ops per schedule (default 80)")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="report raw failing schedules without "
+                             "delta-debugging them")
+    fuzz_p.add_argument("--shrink-budget", type=int, default=400,
+                        metavar="N", help="max schedule re-executions the "
+                                          "shrinker may spend (default 400)")
+    fuzz_p.add_argument("--smoke", action="store_true",
+                        help="small fixed CI campaign (one 40-op schedule "
+                             "per mode x family pair)")
+    fuzz_p.add_argument("--out", metavar="PATH",
+                        help="write generated pytest repros to PATH")
+    fuzz_p.add_argument("--quiet", action="store_true",
+                        help="suppress per-schedule progress output")
 
     sub.add_parser("list", help="available workloads and experiments")
     return parser
@@ -122,13 +166,17 @@ def _engine_from_args(args, progress=None) -> Engine:
 
 def _cmd_run(args) -> int:
     engine = _engine_from_args(args)
+    config = SystemConfig().with_sanitizer() if args.sanitize else None
     spec = RunSpec(tag=args.tag, mode=ProtocolMode(args.protocol),
-                   layout=args.layout, scale=args.scale,
+                   layout=args.layout, config=config, scale=args.scale,
                    num_threads=args.threads, seed=args.seed,
                    core_model=args.core)
     record = engine.run_one(spec)
     for key, value in record.stats.summary().items():
         print(f"{key:22s} {value}")
+    if args.sanitize:
+        checked = record.extra.get("sanitizer_blocks_checked", "?")
+        print(f"{'sanitizer':22s} clean ({checked} block states checked)")
     if args.csv:
         records_to_csv([record], args.csv)
         print(f"record written to {args.csv}")
@@ -195,6 +243,59 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    modes = (list(ProtocolMode) if args.protocol == "all"
+             else [ProtocolMode(args.protocol)])
+    families = list(FAMILIES) if args.family == "all" else [args.family]
+    iterations, length = args.iterations, args.length
+    if args.smoke:
+        # One schedule per (mode, family) pair: small, fixed, deterministic.
+        modes, families = list(ProtocolMode), list(FAMILIES)
+        iterations, length = len(modes) * len(families), 40
+
+    def progress(i, family, mode, report):
+        status = "ok" if report.ok else report.failure.describe()
+        print(f"[{i + 1}/{iterations}] {mode.value:9s} {family:9s} "
+              f"{status}", file=sys.stderr)
+
+    result = fuzz_campaign(
+        iterations=iterations,
+        seed=args.seed,
+        modes=modes,
+        families=families,
+        num_threads=args.threads,
+        num_lines=args.lines,
+        length=length,
+        mutation=args.mutate,
+        shrink=not args.no_shrink,
+        shrink_budget=args.shrink_budget,
+        progress=None if args.quiet else progress,
+    )
+    if result.ok:
+        print(f"fuzz: {result.iterations} schedule(s), no failures "
+              f"(seed {args.seed})")
+        return 0
+    print(f"fuzz: {len(result.findings)} failing schedule(s) out of "
+          f"{result.iterations} (seed {args.seed})")
+    sources = []
+    for f in result.findings:
+        print(f"\ncase seed {f.case_seed}: {f.mode.value}/{f.family}"
+              + (f" +{f.mutation}" if f.mutation else ""))
+        print(f"  {f.failure.describe()}")
+        print(f"  schedule: {len(f.schedule)} op(s), "
+              f"shrunk to {len(f.shrunk)}")
+        sources.append(f.repro_source)
+    repros = "\n\n".join(sources)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(repros + "\n")
+        print(f"\npytest repro(s) written to {args.out}")
+    else:
+        print("\n# --- minimal pytest repro(s) ---\n")
+        print(repros)
+    return 1
+
+
 def _cmd_list(_args) -> int:
     print("Applications with false sharing (Table III):")
     print("  " + " ".join(t for t in ALL_WORKLOADS
@@ -216,6 +317,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "detect": _cmd_detect,
         "experiment": _cmd_experiment,
+        "fuzz": _cmd_fuzz,
         "list": _cmd_list,
     }[args.command]
     try:

@@ -761,6 +761,12 @@ class DirectorySlice:
                 line.dirty = True
                 ctx.prospective.discard(core)
                 self._send(MessageType.WB_ACK, core, block, {})
+                # The evicting holder's writeback doubles as its TR_PRV
+                # response (see putm_in_flight): the init may finish now.
+                if core in ctx.waiting:
+                    ctx.waiting.discard(core)
+                    if not ctx.waiting:
+                        self._finish_prv_init(ctx)
                 return
             if ctx.kind == BusyKind.RECALL:
                 line = self._line(block)
@@ -790,7 +796,12 @@ class DirectorySlice:
             if sam_entry is not None:
                 merge_block(line.data, data, core,
                             sam_entry.last_writer_map(), self.granularity)
-                sam_entry.remove_core(core)
+                # The departed core's SAM claims must survive the merge:
+                # sharers that joined before this merge landed hold copies
+                # that are stale exactly on these granules, and the claim
+                # is what turns their next CHK into a conflict instead of
+                # a silent read/RMW of stale data. Claims are reclaimed
+                # wholesale when the episode terminates.
             line.prv_sharers.discard(core)
             line.dirty = True
         else:
@@ -888,7 +899,13 @@ class DirectorySlice:
         if ctx is not None and ctx.kind == BusyKind.PRV_INIT:
             if conflict:
                 ctx.conflict = True
-            if core in ctx.waiting:
+            # Only a *solicited* response answers the TR_PRV; an unsolicited
+            # eviction REP_MD racing with the init must not conclude it
+            # while the evictor's PUTM (with the fresh data) is in flight.
+            if core in ctx.waiting and msg.payload.get("solicited", True):
+                if msg.payload.get("putm_in_flight"):
+                    ctx.prospective.discard(core)
+                    return  # the PUTM completes this core's response
                 ctx.waiting.discard(core)
                 if not ctx.waiting:
                     self._finish_prv_init(ctx)
@@ -902,6 +919,8 @@ class DirectorySlice:
         if ctx is not None and ctx.kind == BusyKind.PRV_INIT:
             ctx.prospective.discard(core)
             if core in ctx.waiting:
+                if msg.payload.get("putm_in_flight"):
+                    return  # hold the init open until the PUTM lands
                 ctx.waiting.discard(core)
                 if not ctx.waiting:
                     self._finish_prv_init(ctx)
@@ -920,7 +939,7 @@ class DirectorySlice:
                     merge_block(entry.payload.data, msg.payload["data"],
                                 msg.src, sam_entry.last_writer_map(),
                                 self.granularity)
-                    sam_entry.remove_core(msg.src)
+                    # Keep the claims (see the PUTM departure merge).
                 entry.payload.prv_sharers.discard(msg.src)
             return
         if msg.src in ctx.waiting:
@@ -941,6 +960,15 @@ class DirectorySlice:
 
     def drain_complete(self) -> bool:
         return not self._busy and not self._pending
+
+    def block_quiescent(self, block: int) -> bool:
+        """True when no busy context or queued request exists for ``block``
+        (the sanitizer only inspects blocks in stable states)."""
+        return block not in self._busy and block not in self._pending
+
+    def busy_contexts(self) -> Dict[int, BusyCtx]:
+        """Live busy contexts by block (read-only view for checkers)."""
+        return dict(self._busy)
 
     @property
     def reports(self):

@@ -422,8 +422,14 @@ class L1Controller:
 
     # -- invalidations and interventions ------------------------------------------
 
-    def _metadata_response(self, block: int, solicited: bool = True) -> None:
-        """Send REP_MD if we still have the PAM entry, else a phantom."""
+    def _metadata_response(self, block: int, solicited: bool = True,
+                           putm_in_flight: bool = False) -> None:
+        """Send REP_MD if we still have the PAM entry, else a phantom.
+
+        ``putm_in_flight`` tells the directory our eviction writeback for
+        the block is still on the wire, so a privatization init must not
+        conclude (and serve possibly-stale data) before the PUTM lands.
+        """
         if not self.mode.detects:
             return
         pentry = self.pam.get(block)
@@ -435,12 +441,14 @@ class L1Controller:
                 block_addr=block,
                 payload={"read_bits": pentry.read_bits,
                          "write_bits": pentry.write_bits,
-                         "solicited": solicited}))
+                         "solicited": solicited,
+                         "putm_in_flight": putm_in_flight}))
         else:
             self.stats["phantom_sent"] += 1
             self.network.send(Message(
                 MessageType.PHANTOM_MD, src=self.core_id, dst=dst,
-                block_addr=block, payload={"solicited": solicited}))
+                block_addr=block, payload={"solicited": solicited,
+                                           "putm_in_flight": putm_in_flight}))
 
     def _invalidate_line(self, block: int, send_md: bool,
                          solicited: bool = True) -> None:
@@ -605,7 +613,13 @@ class L1Controller:
                 line.state = L1State.PRV
         else:
             # Evicted (possibly with a PUTM in flight): phantom response.
-            self._metadata_response(msg.block_addr)
+            # If our dirty writeback is still on the wire, flag it so the
+            # directory holds the privatization open until the data lands —
+            # otherwise DATA_PRV would serve a stale LLC copy and the late
+            # PUTM would be dropped as stale.
+            self._metadata_response(
+                msg.block_addr,
+                putm_in_flight=msg.block_addr in self.write_buffer)
             mshr = self._mshrs.get(msg.block_addr)
             if mshr is not None and mshr.sent in (MessageType.GET,
                                                   MessageType.GETX):
@@ -633,6 +647,12 @@ class L1Controller:
                     mshr.chk_line_lost = True
                 elif mshr.sent == MessageType.UPGRADE:
                     mshr.aborted = True
+        elif msg.block_addr in self.write_buffer:
+            # Our PRV eviction writeback is in flight; the PUTM carries the
+            # data and will complete the termination at the directory. A
+            # CTRL_WB here would let the termination finish first and the
+            # privatized bytes in the late PUTM would never be merged.
+            pass
         else:
             self.network.send(Message(
                 MessageType.CTRL_WB, src=self.core_id, dst=msg.src,
@@ -676,6 +696,14 @@ class L1Controller:
     def drain_complete(self) -> bool:
         """True when no transactions or buffered writebacks remain."""
         return not self._mshrs and len(self.write_buffer) == 0
+
+    def block_quiescent(self, block: int) -> bool:
+        """True when ``block`` has no MSHR and no buffered writeback here."""
+        return block not in self._mshrs and block not in self.write_buffer
+
+    def transactions(self) -> Dict[int, Mshr]:
+        """Outstanding MSHRs by block (read-only view for checkers)."""
+        return dict(self._mshrs)
 
     def miss_rate(self) -> float:
         accesses = self.stats["loads"] + self.stats["stores"] + self.stats["rmws"]

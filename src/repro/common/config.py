@@ -96,6 +96,33 @@ class ProtocolConfig:
 
 
 @dataclass(frozen=True)
+class SanitizerConfig:
+    """Online coherence-invariant sanitizer (:mod:`repro.check.sanitizer`).
+
+    Disabled by default: the sanitizer inspects controller state after every
+    message delivery, which roughly doubles simulation cost. Tests and the
+    protocol fuzzer opt in; production sweeps leave it off.
+    """
+
+    enabled: bool = False
+    #: Ring-buffer length of recent network messages kept for diagnostics.
+    history: int = 256
+    #: How many of those messages a violation report attaches.
+    trace_window: int = 16
+    #: Events between periodic sweeps (transient-age + counter bounds).
+    sweep_interval: int = 4096
+    #: Max cycles a busy context / MSHR / write-buffer entry may live.
+    #: ``0`` derives a generous bound from the machine's latencies.
+    busy_age_limit: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.history >= 1, "sanitizer history must be >= 1")
+        _require(self.trace_window >= 0, "trace_window must be >= 0")
+        _require(self.sweep_interval >= 1, "sweep_interval must be >= 1")
+        _require(self.busy_age_limit >= 0, "busy_age_limit must be >= 0")
+
+
+@dataclass(frozen=True)
 class EnergyConfig:
     """Energy-model constants (nJ per event, mW static).
 
@@ -140,6 +167,7 @@ class SystemConfig:
     memory_latency: int = 120
     protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
     energy: EnergyConfig = field(default_factory=EnergyConfig)
+    sanitizer: SanitizerConfig = field(default_factory=SanitizerConfig)
     #: Model actual data bytes end-to-end (needed for merge-correctness checks).
     model_data: bool = True
 
@@ -158,6 +186,12 @@ class SystemConfig:
     def with_protocol(self, **changes: Any) -> "SystemConfig":
         """Return a copy with protocol tunables replaced."""
         return replace(self, protocol=replace(self.protocol, **changes))
+
+    def with_sanitizer(self, enabled: bool = True,
+                       **changes: Any) -> "SystemConfig":
+        """Return a copy with the online invariant sanitizer (re)configured."""
+        return replace(self, sanitizer=replace(
+            self.sanitizer, enabled=enabled, **changes))
 
     def with_l1_size(self, size_bytes: int) -> "SystemConfig":
         """Return a copy with a different L1D capacity (same associativity)."""
@@ -179,6 +213,7 @@ class SystemConfig:
             memory_latency=data["memory_latency"],
             protocol=ProtocolConfig(**data["protocol"]),
             energy=EnergyConfig(**data["energy"]),
+            sanitizer=SanitizerConfig(**data.get("sanitizer", {})),
             model_data=data["model_data"],
         )
 

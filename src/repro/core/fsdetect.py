@@ -88,6 +88,10 @@ class FalseSharingDetector:
         self._meta.pop(block_addr, None)
         self.sam.invalidate(block_addr)
 
+    def counter_metas(self) -> Dict[int, DirEntryMeta]:
+        """Live per-block counter state (read-only view for checkers)."""
+        return dict(self._meta)
+
     # -- counting -------------------------------------------------------------
 
     def count_fetch(self, block_addr: int) -> None:

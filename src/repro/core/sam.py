@@ -179,12 +179,18 @@ class SamEntry:
             self.readers = [0] * self.num_granules
 
     def remove_core(self, core: int) -> None:
-        """Forget a core's contributions (PRV-block eviction, Section V-D).
+        """Forget a core's contributions.
 
         Last-writer slots naming the core are invalidated. Reader bits are
         removed precisely in full-vector mode; the last-reader+overflow
-        encoding cannot remove readers, which is conservative (may cause a
-        spurious termination, never a missed conflict).
+        encoding cannot remove readers.
+
+        NOTE: the directory deliberately does *not* call this when a sharer
+        departs a live PRV episode (eviction writeback): other sharers may
+        still hold pre-merge copies, and erasing the departed writer's
+        claims would let their next conflict check pass against stale data.
+        The claims are kept so conflicting accesses terminate the episode;
+        the whole entry is cleared at episode end.
         """
         for granule in range(self.num_granules):
             if self.last_writer[granule] == core:

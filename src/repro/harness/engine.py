@@ -38,7 +38,7 @@ from repro.harness.runner import RunRecord, RunSpec, execute_spec
 #: Version stamp baked into every cache entry.  Bump on any change to the
 #: protocol engines, simulator timing or workloads so stale results are
 #: re-simulated instead of replayed.
-CODE_VERSION = "1"
+CODE_VERSION = "2"
 
 
 class EngineError(ReproError):

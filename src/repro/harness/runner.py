@@ -138,12 +138,28 @@ def execute_spec(spec: RunSpec) -> RunRecord:
     machine = build_machine(spec.config, spec.mode)
     machine.attach_programs(workload.programs(), core_model=spec.core_model,
                             ooo_window=spec.ooo_window)
-    result = Simulator(machine).run()
+    sanitizer = None
+    if spec.config.sanitizer.enabled:
+        # Imported lazily: the sanitizer is opt-in and nothing on the plain
+        # simulation path should pay for the check package.
+        from repro.check.sanitizer import Sanitizer
+
+        sanitizer = Sanitizer(machine).attach()
+    try:
+        result = Simulator(machine).run()
+        if sanitizer is not None:
+            sanitizer.check_all()
+    finally:
+        if sanitizer is not None:
+            sanitizer.detach()
     if spec.verify:
         workload.verify(flush_machine_memory(machine))
-    return RunRecord(tag=spec.tag, mode=spec.mode, layout=spec.layout,
-                     cycles=result.cycles, stats=result.stats,
-                     core_model=spec.core_model, spec=spec)
+    record = RunRecord(tag=spec.tag, mode=spec.mode, layout=spec.layout,
+                       cycles=result.cycles, stats=result.stats,
+                       core_model=spec.core_model, spec=spec)
+    if sanitizer is not None:
+        record.extra["sanitizer_blocks_checked"] = sanitizer.blocks_checked
+    return record
 
 
 def run_workload(

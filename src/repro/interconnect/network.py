@@ -92,11 +92,31 @@ class Network:
         self._handlers: Dict[int, Callable[[Message], None]] = {}
         self.stats = NetworkStats()
         self._last_delivery: Dict[Tuple[int, int, str], int] = {}
+        #: Observation hooks (tracers, sanitizers): ``post_send`` fires when
+        #: a message is injected, ``post_deliver`` after the destination
+        #: handler has processed it. Hooks must not send messages themselves.
+        self.post_send_hooks: list = []
+        self.post_deliver_hooks: list = []
 
     def register(self, node_id: int, handler: Callable[[Message], None]) -> None:
         if node_id in self._handlers:
             raise SimulationError(f"node {node_id} already registered")
         self._handlers[node_id] = handler
+
+    def add_hooks(self, post_send: Optional[Callable[[Message], None]] = None,
+                  post_deliver: Optional[Callable[[Message], None]] = None,
+                  ) -> None:
+        if post_send is not None:
+            self.post_send_hooks.append(post_send)
+        if post_deliver is not None:
+            self.post_deliver_hooks.append(post_deliver)
+
+    def remove_hooks(self, post_send: Optional[Callable] = None,
+                     post_deliver: Optional[Callable] = None) -> None:
+        if post_send is not None and post_send in self.post_send_hooks:
+            self.post_send_hooks.remove(post_send)
+        if post_deliver is not None and post_deliver in self.post_deliver_hooks:
+            self.post_deliver_hooks.remove(post_deliver)
 
     def serialization_delay(self, msg: Message) -> int:
         return max(0, (msg.size_bytes - self.FLIT_BYTES)) // self.FLIT_BYTES
@@ -119,4 +139,12 @@ class Network:
             arrival = floor  # FIFO within a virtual channel
         self._last_delivery[key] = arrival
         handler = self._handlers[msg.dst]
-        self._queue.schedule_at(arrival, lambda: handler(msg))
+        self._queue.schedule_at(arrival, lambda: self._deliver(handler, msg))
+        for hook in self.post_send_hooks:
+            hook(msg)
+
+    def _deliver(self, handler: Callable[[Message], None],
+                 msg: Message) -> None:
+        handler(msg)
+        for hook in self.post_deliver_hooks:
+            hook(msg)

@@ -24,7 +24,9 @@ class RunResult:
 
     cycles: int
     stats: SimStats
-    machine: Machine = field(repr=False, default=None)
+    #: None only for hand-built records (e.g. deserialized from a cache);
+    #: every :meth:`Simulator.run` result carries its machine.
+    machine: Optional[Machine] = field(repr=False, default=None)
 
     @property
     def reports(self):

@@ -42,7 +42,12 @@ class TraceEntry:
 
 
 class MessageTracer:
-    """Wraps a machine's network send to record matching messages."""
+    """Observes a machine's network sends to record matching messages.
+
+    Built on the network's ``post_send`` hook plumbing (shared with the
+    :mod:`repro.check.sanitizer` online invariant checker), so multiple
+    observers can coexist on one machine.
+    """
 
     def __init__(
         self,
@@ -59,34 +64,32 @@ class MessageTracer:
         self.limit = limit
         self.entries: List[TraceEntry] = []
         self.dropped = 0
-        self._original_send = None
+        self._attached = False
 
     # -- lifecycle ---------------------------------------------------------
 
+    def _on_send(self, msg: Message) -> None:
+        if self._matches(msg):
+            if len(self.entries) < self.limit:
+                self.entries.append(TraceEntry(
+                    cycle=self.machine.queue.now, mtype=msg.mtype,
+                    src=msg.src, dst=msg.dst,
+                    block_addr=msg.block_addr,
+                    size_bytes=msg.size_bytes))
+            else:
+                self.dropped += 1
+
     def attach(self) -> "MessageTracer":
-        if self._original_send is not None:
+        if self._attached:
             raise RuntimeError("tracer already attached")
-        self._original_send = self.machine.network.send
-
-        def traced(msg: Message, extra_delay: int = 0) -> None:
-            if self._matches(msg):
-                if len(self.entries) < self.limit:
-                    self.entries.append(TraceEntry(
-                        cycle=self.machine.queue.now, mtype=msg.mtype,
-                        src=msg.src, dst=msg.dst,
-                        block_addr=msg.block_addr,
-                        size_bytes=msg.size_bytes))
-                else:
-                    self.dropped += 1
-            self._original_send(msg, extra_delay)
-
-        self.machine.network.send = traced
+        self.machine.network.add_hooks(post_send=self._on_send)
+        self._attached = True
         return self
 
     def detach(self) -> None:
-        if self._original_send is not None:
-            self.machine.network.send = self._original_send
-            self._original_send = None
+        if self._attached:
+            self.machine.network.remove_hooks(post_send=self._on_send)
+            self._attached = False
 
     def __enter__(self) -> "MessageTracer":
         return self.attach()

@@ -24,12 +24,27 @@ def small_config(**overrides) -> SystemConfig:
 
 
 def run_programs(programs, mode=ProtocolMode.MESI, config=None,
-                 core_model="inorder", **kwargs):
-    """Build a machine, attach programs, run, return (result, machine)."""
+                 core_model="inorder", sanitize=False, **kwargs):
+    """Build a machine, attach programs, run, return (result, machine).
+
+    With ``sanitize=True`` the online protocol sanitizer rides along and
+    raises :class:`~repro.check.sanitizer.InvariantViolation` on the first
+    broken invariant (plus a full sweep after the run drains).
+    """
     config = config or small_config()
     machine = build_machine(config, mode)
     machine.attach_programs(programs, core_model=core_model, **kwargs)
-    result = Simulator(machine).run()
+    if not sanitize:
+        result = Simulator(machine).run()
+        return result, machine
+    from repro.check.sanitizer import Sanitizer
+
+    sanitizer = Sanitizer(machine).attach()
+    try:
+        result = Simulator(machine).run()
+        sanitizer.check_all()
+    finally:
+        sanitizer.detach()
     return result, machine
 
 

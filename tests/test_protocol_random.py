@@ -1,17 +1,21 @@
 """Randomized stress tests: every protocol mode must produce the same final
 memory image as a simple sequential reference.
 
-Two workload families:
+Three random workload families:
 
 * *Disjoint-bytes*: each thread owns fixed byte slots in a set of shared
   lines (pure false sharing). The reference is computed per-slot from the
   thread's own operation stream.
 * *Atomic true sharing*: threads fetch-add shared words; the final value
   must equal the total increment count under every protocol.
+* *Mixed*: falsely-shared slots and truly-shared counters coexist in the
+  same lines, randomly interleaved — privatizations start, hit conflicts
+  and abort or terminate mid-stream.
 
-These runs exercise detection, privatization, CHKs, terminations, evictions
-and races under random interleavings; a single lost or duplicated byte
-anywhere in the protocol fails them.
+All three families run with the online sanitizer attached, so beyond the
+final-image check every intermediate quiescent state is held to the
+protocol invariants; a single lost or duplicated byte anywhere in the
+protocol — or a transiently inconsistent directory — fails them.
 """
 
 import random
@@ -64,6 +68,48 @@ def disjoint_program(tid, lines, ops, rng):
     return prog(), final
 
 
+def mixed_program(tid, lines, ops, rng, num_threads=4):
+    """Random own-slot traffic with truly-shared fetch-adds mixed in.
+
+    Slots ``line + 8*tid`` are private to the thread; the words at
+    ``line + 8*num_threads`` onward are shared counters bumped with atomic
+    fetch-adds, so a sequential reference still exists: private slots from
+    the thread's own stream, shared words from the summed increment counts.
+    """
+    plan = []
+    for _ in range(ops):
+        line = rng.choice(lines)
+        if rng.random() < 0.35:
+            plan.append(("add", line + 8 * num_threads, 0, rng.randrange(0, 4)))
+        else:
+            slot = line + 8 * tid
+            kind = "store" if rng.randrange(2) else "loadchk"
+            plan.append((kind, slot, rng.randrange(1, 1 << 31),
+                         rng.randrange(0, 4)))
+
+    def prog():
+        local = {}
+        for kind, addr, value, pause in plan:
+            if kind == "store":
+                yield store(addr, value, size=8)
+                local[addr] = value
+            elif kind == "loadchk":
+                got = yield load(addr, size=8)
+                assert got == local.get(addr, 0), (hex(addr), got)
+            else:
+                yield fetch_add(addr, 1, size=8)
+            if pause:
+                yield compute(pause)
+
+    slots, shared = {}, {}
+    for kind, addr, value, _ in plan:
+        if kind == "store":
+            slots[addr] = value
+        elif kind == "add":
+            shared[addr] = shared.get(addr, 0) + 1
+    return prog(), slots, shared
+
+
 @pytest.mark.parametrize("mode", MODES)
 @pytest.mark.parametrize("seed", [0, 1, 2, 3])
 def test_disjoint_random_streams(mode, seed):
@@ -75,7 +121,7 @@ def test_disjoint_random_streams(mode, seed):
                                        rng=random.Random(seed * 17 + tid))
         programs.append(prog)
         expected.update(final)
-    result, machine = run_programs(programs, mode=mode)
+    result, machine = run_programs(programs, mode=mode, sanitize=True)
     img = memory_image(machine)
     for slot, value in expected.items():
         assert read_u(img, slot, size=8) == value, hex(slot)
@@ -99,13 +145,36 @@ def test_atomic_true_sharing(mode, seed):
                 yield fetch_add(w, 1, size=8)
                 yield compute(2)
         programs.append(prog())
-    result, machine = run_programs(programs, mode=mode)
+    result, machine = run_programs(programs, mode=mode, sanitize=True)
     img = memory_image(machine)
     for w, n in counts.items():
         assert read_u(img, w, size=8) == n
 
     if mode == ProtocolMode.FSLITE:
         assert result.stats.privatizations == 0
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_mixed_random_streams(mode, seed):
+    """The third random family: disjoint slots and truly-shared counters in
+    the SAME lines, so FSLite privatizations race against true-sharing
+    conflicts (aborts, CHK misses, episode terminations)."""
+    lines = [0x90000 + i * 64 for i in range(4)]
+    programs, slots, shared = [], {}, {}
+    for tid in range(4):
+        prog, s, sh = mixed_program(tid, lines, ops=200,
+                                    rng=random.Random(seed * 23 + tid))
+        programs.append(prog)
+        slots.update(s)
+        for addr, n in sh.items():
+            shared[addr] = shared.get(addr, 0) + n
+    result, machine = run_programs(programs, mode=mode, sanitize=True)
+    img = memory_image(machine)
+    for slot, value in slots.items():
+        assert read_u(img, slot, size=8) == value, hex(slot)
+    for addr, n in shared.items():
+        assert read_u(img, addr, size=8) == n, hex(addr)
 
 
 @pytest.mark.parametrize("mode", MODES)

@@ -72,13 +72,15 @@ class TestTracer:
         assert "core" in text and "dir" in text
         assert "more" in text
 
-    def test_detach_restores(self):
+    def test_detach_removes_hook(self):
         machine = build_machine(small_config(), ProtocolMode.MESI)
         machine.attach_programs(writers(10))
         tracer = MessageTracer(machine).attach()
-        original = tracer._original_send
+        assert machine.network.post_send_hooks
         tracer.detach()
-        assert machine.network.send is original
+        assert not machine.network.post_send_hooks
+        Simulator(machine).run()
+        assert len(tracer) == 0  # detached tracers see nothing
 
     def test_double_attach_rejected(self):
         machine = build_machine(small_config(), ProtocolMode.MESI)
