@@ -12,6 +12,8 @@
 * ``fuzz`` — random protocol testing: drive randomized load/store/RMW/
   evict schedules through the protocols with the online sanitizer
   attached, and shrink any failure to a minimal pytest repro.
+* ``profile`` — run one workload under cProfile and print the hottest
+  functions (the profiling companion to ``benchmarks/bench_kernel.py``).
 * ``list`` — available workloads and experiments.
 
 Every simulating command accepts ``--jobs N`` (fan simulations out over N
@@ -34,6 +36,7 @@ from repro.coherence.states import ProtocolMode
 from repro.common.config import SystemConfig
 from repro.common.errors import ReproError
 from repro.harness import experiments as E
+from repro.harness import profiling
 from repro.harness.engine import Engine, default_cache_dir
 from repro.harness.export import records_to_csv
 from repro.harness.runner import RunSpec
@@ -143,6 +146,32 @@ def _parser() -> argparse.ArgumentParser:
                         help="write generated pytest repros to PATH")
     fuzz_p.add_argument("--quiet", action="store_true",
                         help="suppress per-schedule progress output")
+
+    prof_p = sub.add_parser("profile", help="profile one workload run "
+                                            "under cProfile")
+    prof_p.add_argument("tag", choices=sorted(REGISTRY))
+    prof_p.add_argument("--protocol", default="mesi",
+                        choices=[m.value for m in ProtocolMode])
+    prof_p.add_argument("--layout", default="packed",
+                        choices=["packed", "padded", "huron"])
+    prof_p.add_argument("--scale", type=float, default=1.0)
+    prof_p.add_argument("--threads", type=int, default=4)
+    prof_p.add_argument("--seed", type=int, default=0)
+    prof_p.add_argument("--core", default="inorder",
+                        choices=["inorder", "ooo"])
+    prof_p.add_argument("--sanitize", action="store_true",
+                        help="profile with the online sanitizer attached "
+                             "(shows the hook-path overhead)")
+    prof_p.add_argument("--sort", default=profiling.DEFAULT_SORT,
+                        choices=profiling.SORT_KEYS,
+                        help="pstats sort key (default cumulative; use "
+                             "tottime for hot leaf functions)")
+    prof_p.add_argument("--top", type=int, default=profiling.DEFAULT_LIMIT,
+                        metavar="N",
+                        help=f"entries to print "
+                             f"(default {profiling.DEFAULT_LIMIT})")
+    prof_p.add_argument("--stats-out", metavar="PATH",
+                        help="also dump the raw profile for pstats/snakeviz")
 
     sub.add_parser("list", help="available workloads and experiments")
     return parser
@@ -296,6 +325,17 @@ def _cmd_fuzz(args) -> int:
     return 1
 
 
+def _cmd_profile(args) -> int:
+    config = SystemConfig().with_sanitizer() if args.sanitize else None
+    spec = RunSpec(tag=args.tag, mode=ProtocolMode(args.protocol),
+                   layout=args.layout, config=config, scale=args.scale,
+                   num_threads=args.threads, seed=args.seed,
+                   core_model=args.core)
+    profiling.profile_spec(spec, sort=args.sort, limit=args.top,
+                           stats_out=args.stats_out)
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("Applications with false sharing (Table III):")
     print("  " + " ".join(t for t in ALL_WORKLOADS
@@ -318,6 +358,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "detect": _cmd_detect,
         "experiment": _cmd_experiment,
         "fuzz": _cmd_fuzz,
+        "profile": _cmd_profile,
         "list": _cmd_list,
     }[args.command]
     try:

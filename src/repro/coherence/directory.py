@@ -140,6 +140,25 @@ class DirectorySlice:
             "term_sam_eviction": 0, "term_external_socket": 0,
             "term_init_abort": 0,
         }
+        # Per-type bound-method dispatch table indexed by MessageType.value
+        # (slot 0 padding).  Requests route through the busy-block check;
+        # responses go straight to their handler.
+        self._dispatch: List[Optional[Callable[[Message], None]]] = \
+            [None] * (len(MessageType) + 1)
+        for mtype in self._REQUEST_TYPES:
+            self._dispatch[mtype.value] = self._on_request
+        for mtype, handler in {
+            MessageType.PUTM: self._on_putm,
+            MessageType.INV_ACK: self._on_inv_ack,
+            MessageType.DATA_WB: self._on_data_wb,
+            MessageType.XFER_ACK: self._on_xfer_ack,
+            MessageType.ACK_NO_DATA: self._on_ack_no_data,
+            MessageType.REP_MD: self._on_rep_md,
+            MessageType.PHANTOM_MD: self._on_phantom,
+            MessageType.PRV_WB: self._on_prv_wb,
+            MessageType.CTRL_WB: self._on_ctrl_wb,
+        }.items():
+            self._dispatch[mtype.value] = handler
         network.register(node_id, self.handle_message)
 
     # ----------------------------------------------------------- utilities
@@ -194,26 +213,16 @@ class DirectorySlice:
     )
 
     def handle_message(self, msg: Message) -> None:
-        if msg.mtype in self._REQUEST_TYPES:
-            if self._is_blocked(msg.block_addr):
-                self._enqueue(msg)
-            else:
-                self._process_request(msg)
-            return
-        handler = {
-            MessageType.PUTM: self._on_putm,
-            MessageType.INV_ACK: self._on_inv_ack,
-            MessageType.DATA_WB: self._on_data_wb,
-            MessageType.XFER_ACK: self._on_xfer_ack,
-            MessageType.ACK_NO_DATA: self._on_ack_no_data,
-            MessageType.REP_MD: self._on_rep_md,
-            MessageType.PHANTOM_MD: self._on_phantom,
-            MessageType.PRV_WB: self._on_prv_wb,
-            MessageType.CTRL_WB: self._on_ctrl_wb,
-        }.get(msg.mtype)
+        handler = self._dispatch[msg.mtype.value]
         if handler is None:
             raise ProtocolError(f"directory cannot handle {msg}")
         handler(msg)
+
+    def _on_request(self, msg: Message) -> None:
+        if msg.block_addr in self._busy:
+            self._enqueue(msg)
+        else:
+            self._process_request(msg)
 
     # ------------------------------------------------------- request path
 

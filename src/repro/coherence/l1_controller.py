@@ -20,12 +20,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.common.addr import block_base, block_offset, bytes_touched
+from repro.common.addr import bytes_touched
 from repro.common.config import SystemConfig
 from repro.common.errors import ProtocolError
 from repro.common.events import EventQueue
 from repro.coherence.states import L1State, ProtocolMode
 from repro.core.pam import PamTable
+
+#: Pristine PAM-update seam. ``_perform`` inlines the bit-OR update only
+#: while ``PamTable.record_access`` is unpatched; mutation injection
+#: (:mod:`repro.check.mutations`) replaces the class attribute and the hot
+#: path falls back to calling it, so injected PAM bugs stay observable.
+_PAM_RECORD_PRISTINE = PamTable.record_access
 from repro.cpu.ops import Op, OpKind
 from repro.interconnect.message import Message, MessageType
 from repro.interconnect.network import Network
@@ -35,11 +41,16 @@ from repro.memsys.write_buffer import WriteBuffer
 CompletionCallback = Callable[[int], None]
 
 
-@dataclass
 class L1Line:
-    state: L1State
-    data: bytearray
-    dirty: bool = False
+    """One resident L1 line: stable state, block bytes, dirty bit."""
+
+    __slots__ = ("state", "data", "dirty")
+
+    def __init__(self, state: L1State, data: bytearray,
+                 dirty: bool = False) -> None:
+        self.state = state
+        self.data = data
+        self.dirty = dirty
 
 
 @dataclass
@@ -91,6 +102,17 @@ class L1Controller:
         )
         self.write_buffer = WriteBuffer(capacity=64)
         self._mshrs: Dict[int, Mshr] = {}
+        # Hot-path bindings: block/offset masks (block size is a power of
+        # two), the mode's detect flag, the hit latency, and the PAM/write-
+        # buffer entry dicts (owned by those objects, never rebound) — the
+        # per-access path reads these instead of re-deriving them.
+        self._offset_mask = self.block_size - 1
+        self._base_mask = ~self._offset_mask
+        self._detects = mode.detects
+        self._data_latency = config.l1.data_latency
+        self._granularity = config.protocol.tracking_granularity
+        self._pam_entries = self.pam._entries
+        self._wb_entries = self.write_buffer._entries
         self.stats: Dict[str, int] = {
             "loads": 0, "stores": 0, "rmws": 0,
             "hits": 0, "misses": 0, "chk_misses": 0,
@@ -101,6 +123,28 @@ class L1Controller:
             "interventions_received": 0, "l1_data_accesses": 0,
             "pam_accesses": 0,
         }
+        # Per-type bound-method dispatch table indexed by MessageType.value
+        # (slot 0 padding): one list index + call per delivered message
+        # instead of rebuilding a dict or walking an if/elif chain.
+        self._dispatch: List[Optional[Callable[[Message], None]]] = \
+            [None] * (len(MessageType) + 1)
+        for mtype, handler in {
+            MessageType.DATA: self._on_data,
+            MessageType.DATA_E: self._on_data,
+            MessageType.DATA_PRV: self._on_data,
+            MessageType.DATA_TO_REQ: self._on_data,
+            MessageType.UPG_ACK: self._on_upg_ack,
+            MessageType.UPG_ACK_PRV: self._on_upg_ack,
+            MessageType.ACK_PRV: self._on_ack_prv,
+            MessageType.INV: self._on_inv,
+            MessageType.FWD_GET: self._on_fwd_get,
+            MessageType.FWD_GETX: self._on_fwd_getx,
+            MessageType.TR_PRV: self._on_tr_prv,
+            MessageType.INV_PRV: self._on_inv_prv,
+            MessageType.RECALL: self._on_recall,
+            MessageType.WB_ACK: self._on_wb_ack,
+        }.items():
+            self._dispatch[mtype.value] = handler
         network.register(core_id, self.handle_message)
 
     # ------------------------------------------------------------------ API
@@ -111,21 +155,30 @@ class L1Controller:
 
     def access(self, op: Op, on_complete: CompletionCallback) -> None:
         """Issue one memory operation; ``on_complete(result)`` fires when
-        the access is globally performed."""
-        if not op.is_memory:
-            raise ProtocolError(f"non-memory op reached the L1: {op.kind}")
-        if op.kind == OpKind.LOAD:
-            self.stats["loads"] += 1
-        elif op.kind == OpKind.STORE:
-            self.stats["stores"] += 1
+        the access is globally performed.
+
+        This is the simulator's innermost protocol path (one call per
+        executed memory instruction): the hit check and completion are
+        folded inline and all address math is mask arithmetic on bindings
+        precomputed in ``__init__``.
+        """
+        stats = self.stats
+        kind = op.kind
+        if kind is OpKind.LOAD:
+            stats["loads"] += 1
+        elif kind is OpKind.STORE:
+            stats["stores"] += 1
+        elif kind is OpKind.RMW:
+            stats["rmws"] += 1
         else:
-            self.stats["rmws"] += 1
-        block = block_base(op.addr, self.block_size)
-        mshr = self._mshrs.get(block)
-        if mshr is not None:
-            mshr.ops.append((op, on_complete))
-            return
-        wb_entry = self.write_buffer.get(block)
+            raise ProtocolError(f"non-memory op reached the L1: {op.kind}")
+        block = op.addr & self._base_mask
+        if self._mshrs:
+            mshr = self._mshrs.get(block)
+            if mshr is not None:
+                mshr.ops.append((op, on_complete))
+                return
+        wb_entry = self._wb_entries.get(block) if self._wb_entries else None
         if wb_entry is not None:
             # The block's writeback is still in flight; a request now could
             # overtake the PUTM and fetch stale data. Park the access and
@@ -134,69 +187,88 @@ class L1Controller:
                 (op, on_complete))
             return
         entry = self.cache.lookup(block)
-        line = entry.payload if entry is not None else None
-        if line is not None and self._can_hit(line, op, block):
-            self._complete_hit(block, line, op, on_complete)
+        if entry is None:
+            self._start_miss(block, None, op, on_complete)
             return
-        self._start_miss(block, line, op, on_complete)
+        line = entry.payload
+        state = line.state
+        # Hit check. A resident line is always in a stable state (S/E/M/
+        # PRV); loads hit any of them, stores need M/E, and PRV accesses
+        # hit only when the PAM already covers every touched granule
+        # (Section V-B: uncovered bytes take a GetCHK/GetXCHK).
+        if state is L1State.PRV:
+            pentry = self._pam_entries.get(block)
+            if pentry is None:
+                raise ProtocolError("PRV line without a PAM entry")
+            stats["pam_accesses"] += 1
+            gmask = ((1 << op.size) - 1) << (op.addr & self._offset_mask)
+            if self._granularity != 1:
+                gmask = self.pam.to_granule_mask(gmask)
+            if op.is_write:
+                covered = (pentry.write_bits & gmask) == gmask
+            else:
+                covered = ((pentry.read_bits | pentry.write_bits)
+                           & gmask) == gmask
+            if not covered:
+                self._start_miss(block, line, op, on_complete)
+                return
+        elif op.is_write and not (state is L1State.M or state is L1State.E):
+            self._start_miss(block, line, op, on_complete)
+            return
+        # Hit: the op performs (becomes globally visible) immediately; the
+        # core observes completion after the data-array latency.
+        stats["hits"] += 1
+        result = self._perform(block, line, op)
+        self.queue.schedule(self._data_latency, lambda: on_complete(result))
 
     # ------------------------------------------------------------- hit path
 
-    def _can_hit(self, line: L1Line, op: Op, block: int) -> bool:
-        state = line.state
-        if state == L1State.PRV:
-            gmask = self._gmask(op)
-            pentry = self.pam.get(block)
-            if pentry is None:
-                raise ProtocolError("PRV line without a PAM entry")
-            self.stats["pam_accesses"] += 1
-            if op.is_write:
-                return pentry.covered_for_write(gmask)
-            return pentry.covered_for_read(gmask)
-        if op.is_write:
-            return state in (L1State.M, L1State.E)
-        return state in (L1State.S, L1State.E, L1State.M)
-
-    def _complete_hit(self, block: int, line: L1Line, op: Op,
-                      cb: CompletionCallback) -> None:
-        """The op performs (becomes globally visible) immediately; the core
-        observes completion after the data-array latency."""
-        self.stats["hits"] += 1
-        result = self._perform(block, line, op)
-        self.queue.schedule(self.config.l1.data_latency, lambda: cb(result))
-
     def _perform(self, block: int, line: L1Line, op: Op) -> int:
         """Apply the op to the line's bytes, update PAM, return the result."""
-        if op.is_write and line.state == L1State.E:
+        if op.is_write and line.state is L1State.E:
             line.state = L1State.M
-        offset = block_offset(op.addr, self.block_size)
+        offset = op.addr & self._offset_mask
+        size = op.size
+        data = line.data
+        kind = op.kind
         self.stats["l1_data_accesses"] += 1
         result = 0
-        if op.kind == OpKind.LOAD:
-            result = int.from_bytes(line.data[offset:offset + op.size], "little")
-        elif op.kind == OpKind.STORE:
-            line.data[offset:offset + op.size] = op.value.to_bytes(
-                op.size, "little")
+        if kind is OpKind.LOAD:
+            result = int.from_bytes(data[offset:offset + size], "little")
+        elif kind is OpKind.STORE:
+            data[offset:offset + size] = op.value.to_bytes(size, "little")
             line.dirty = True
         else:  # RMW
-            old = int.from_bytes(line.data[offset:offset + op.size], "little")
-            new = op.modify(old) & ((1 << (8 * op.size)) - 1)
-            line.data[offset:offset + op.size] = new.to_bytes(op.size, "little")
+            old = int.from_bytes(data[offset:offset + size], "little")
+            new = op.modify(old) & ((1 << (8 * size)) - 1)
+            data[offset:offset + size] = new.to_bytes(size, "little")
             line.dirty = True
             result = old
-        if self.mode.detects:
-            _, byte_mask = bytes_touched(op.addr, op.size, self.block_size)
+        if self._detects:
+            byte_mask = ((1 << size) - 1) << offset
             self.stats["pam_accesses"] += 1
-            if op.kind == OpKind.RMW:
-                self.pam.record_access(block, byte_mask, is_write=True)
-                self.pam.record_access(block, byte_mask, is_write=False)
+            if PamTable.record_access is not _PAM_RECORD_PRISTINE:
+                # The seam is patched (mutation injection): honour it.
+                if kind is OpKind.RMW:
+                    self.pam.record_access(block, byte_mask, is_write=True)
+                    self.pam.record_access(block, byte_mask, is_write=False)
+                else:
+                    self.pam.record_access(block, byte_mask, op.is_write)
+                return result
+            pentry = self._pam_entries.get(block)
+            if pentry is None:
+                raise ProtocolError(
+                    f"access to block {block:#x} with no PAM entry")
+            gmask = (byte_mask if self._granularity == 1
+                     else self.pam.to_granule_mask(byte_mask))
+            if kind is OpKind.RMW:
+                pentry.write_bits |= gmask
+                pentry.read_bits |= gmask
+            elif kind is OpKind.STORE:
+                pentry.write_bits |= gmask
             else:
-                self.pam.record_access(block, byte_mask, op.is_write)
+                pentry.read_bits |= gmask
         return result
-
-    def _gmask(self, op: Op) -> int:
-        _, byte_mask = bytes_touched(op.addr, op.size, self.block_size)
-        return self.pam.to_granule_mask(byte_mask)
 
     # ------------------------------------------------------------ miss path
 
@@ -310,22 +382,7 @@ class L1Controller:
     # ----------------------------------------------------- message handling
 
     def handle_message(self, msg: Message) -> None:
-        handler = {
-            MessageType.DATA: self._on_data,
-            MessageType.DATA_E: self._on_data,
-            MessageType.DATA_PRV: self._on_data,
-            MessageType.DATA_TO_REQ: self._on_data,
-            MessageType.UPG_ACK: self._on_upg_ack,
-            MessageType.UPG_ACK_PRV: self._on_upg_ack,
-            MessageType.ACK_PRV: self._on_ack_prv,
-            MessageType.INV: self._on_inv,
-            MessageType.FWD_GET: self._on_fwd_get,
-            MessageType.FWD_GETX: self._on_fwd_getx,
-            MessageType.TR_PRV: self._on_tr_prv,
-            MessageType.INV_PRV: self._on_inv_prv,
-            MessageType.RECALL: self._on_recall,
-            MessageType.WB_ACK: self._on_wb_ack,
-        }.get(msg.mtype)
+        handler = self._dispatch[msg.mtype.value]
         if handler is None:
             raise ProtocolError(f"L1 {self.core_id} cannot handle {msg}")
         handler(msg)

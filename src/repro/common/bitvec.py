@@ -2,11 +2,18 @@
 
 PAM read/write vectors, SAM reader vectors and sharer lists are all plain
 Python ints treated as bit sets; these helpers keep that idiom readable.
+The helpers stay the single call sites so hot-path representation choices
+(native ``int.bit_count``, the byte-indexed set-bit table) live here only.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
+
+#: Set-bit positions for every byte value: iterating a mask walks it a byte
+#: at a time through this table instead of shifting bit-by-bit.
+_BYTE_SET_BITS = tuple(
+    tuple(i for i in range(8) if value >> i & 1) for value in range(256))
 
 
 def mask_for_range(offset: int, length: int) -> int:
@@ -15,8 +22,8 @@ def mask_for_range(offset: int, length: int) -> int:
 
 
 def bit_count(value: int) -> int:
-    """Count set bits (portable ``int.bit_count``)."""
-    return bin(value).count("1")
+    """Count set bits (native ``int.bit_count``; CPython 3.10+)."""
+    return value.bit_count()
 
 
 def bits_set(value: int, mask: int) -> bool:
@@ -26,9 +33,11 @@ def bits_set(value: int, mask: int) -> bool:
 
 def iter_set_bits(value: int) -> Iterator[int]:
     """Yield the index of each set bit, ascending."""
-    index = 0
+    base = 0
     while value:
-        if value & 1:
-            yield index
-        value >>= 1
-        index += 1
+        byte = value & 0xFF
+        if byte:
+            for offset in _BYTE_SET_BITS[byte]:
+                yield base + offset
+        value >>= 8
+        base += 8

@@ -3,31 +3,38 @@
 The whole simulator is driven by one :class:`EventQueue`. Events at the same
 timestamp fire in insertion order (a monotonically increasing sequence number
 breaks ties), which makes every simulation fully deterministic.
+
+Hot-path layout: the heap holds plain ``(time, seq, event)`` tuples so
+ordering is C-level integer-tuple comparison (``seq`` is unique, so the
+event object itself is never compared), and :class:`Event` is a
+``__slots__`` class — no dataclass machinery, no per-event ``__dict__``.
+:meth:`EventQueue.drain` is the tight pop-and-fire loop the simulator runs
+in; :meth:`step` remains as the single-step API for tests and drivers.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.common.errors import SimulationError
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback. Ordered by (time, seq)."""
+    """A scheduled callback, keyed on the heap by ``(time, seq)``."""
 
-    time: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: Owning queue; lets cancellation maintain the queue's live-event count.
-    queue: Optional["EventQueue"] = field(default=None, compare=False,
-                                          repr=False)
-    #: Set once the event has been popped for execution.
-    fired: bool = field(default=False, compare=False, repr=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "queue", "fired")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], None],
+                 queue: Optional["EventQueue"] = None) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        #: Owning queue; lets cancellation maintain the queue's live count.
+        self.queue = queue
+        #: Set once the event has been popped for execution.
+        self.fired = False
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
@@ -36,6 +43,11 @@ class Event:
         self.cancelled = True
         if not self.fired and self.queue is not None:
             self.queue._live -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(f for f, on in (("C", self.cancelled),
+                                        ("F", self.fired)) if on)
+        return f"Event(t={self.time}, seq={self.seq}{', ' + flags if flags else ''})"
 
 
 class EventQueue:
@@ -46,8 +58,8 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        self._heap: list = []  # (time, seq, Event) triples
+        self._seq = 0
         self._now = 0
         self._executed = 0
         self._live = 0
@@ -66,9 +78,11 @@ class EventQueue:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, next(self._seq), callback,
-                      queue=self)
-        heapq.heappush(self._heap, event)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, queue=self)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
 
@@ -82,28 +96,71 @@ class EventQueue:
 
     def step(self) -> bool:
         """Execute the next non-cancelled event. Return False if none left."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _seq, event = heapq.heappop(heap)
             if event.cancelled:
                 continue  # cancel() already dropped it from the live count
             event.fired = True
             self._live -= 1
-            self._now = event.time
+            self._now = time
             self._executed += 1
             event.callback()
             return True
         return False
 
+    def drain(self, max_events: Optional[int] = None) -> int:
+        """Pop-and-fire until the queue is exhausted; the simulator's loop.
+
+        Executes at most ``max_events`` events (None = unlimited) and
+        returns how many ran.  This is :meth:`step` folded inline: one
+        C-level heappop per event, no per-event method call, with the
+        ``now``/``executed`` cursors kept live for callbacks that read them.
+
+        Observers (the sanitizer's periodic sweep) may override ``step`` on
+        the *instance*; drain honors such an override by stepping through
+        it, so the tight loop runs exactly when nothing is watching.
+        """
+        stepper = self.__dict__.get("step")
+        if stepper is not None:
+            executed = 0
+            while max_events is None or executed < max_events:
+                if not stepper():
+                    break
+                executed += 1
+            return executed
+        heap = self._heap
+        pop = heapq.heappop
+        executed = 0
+        limit = max_events if max_events is not None else -1
+        while heap:
+            if executed == limit:
+                break
+            time, _seq, event = pop(heap)
+            if event.cancelled:
+                continue
+            event.fired = True
+            self._live -= 1
+            self._now = time
+            self._executed += 1
+            executed += 1
+            event.callback()
+        return executed
+
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` cycles pass, or
         ``max_events`` events execute (whichever comes first)."""
+        if until is None:
+            self.drain(max_events)
+            return
         executed = 0
-        while self._heap:
-            head = self._heap[0]
+        heap = self._heap
+        while heap:
+            head_time, _seq, head = heap[0]
             if head.cancelled:
-                heapq.heappop(self._heap)
+                heapq.heappop(heap)
                 continue
-            if until is not None and head.time > until:
+            if head_time > until:
                 self._now = until
                 return
             if max_events is not None and executed >= max_events:

@@ -44,13 +44,20 @@ def expand_granule_mask(gmask: int, granularity: int, block_size: int) -> int:
     return out
 
 
-@dataclass
 class PamEntry:
-    """Per-block read/write granule bits plus the SEND_MD bit."""
+    """Per-block read/write granule bits plus the SEND_MD bit.
 
-    read_bits: int = 0
-    write_bits: int = 0
-    send_md: bool = False
+    A ``__slots__`` class: entries are touched on every detected-mode
+    memory access, and the hot path reads/ORs the bit fields directly.
+    """
+
+    __slots__ = ("read_bits", "write_bits", "send_md")
+
+    def __init__(self, read_bits: int = 0, write_bits: int = 0,
+                 send_md: bool = False) -> None:
+        self.read_bits = read_bits
+        self.write_bits = write_bits
+        self.send_md = send_md
 
     def record_read(self, gmask: int) -> None:
         self.read_bits |= gmask
@@ -123,11 +130,13 @@ class PamTable:
         if entry is None:
             raise ProtocolError(
                 f"access to block {block_addr:#x} with no PAM entry")
-        gmask = granule_mask(byte_mask, self.granularity, self.block_size)
+        gmask = (byte_mask if self.granularity == 1
+                 else granule_mask(byte_mask, self.granularity,
+                                   self.block_size))
         if is_write:
-            entry.record_write(gmask)
+            entry.write_bits |= gmask
         else:
-            entry.record_read(gmask)
+            entry.read_bits |= gmask
 
     def to_granule_mask(self, byte_mask: int) -> int:
         return granule_mask(byte_mask, self.granularity, self.block_size)

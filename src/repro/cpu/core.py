@@ -60,19 +60,20 @@ class InOrderCore:
             raise WorkloadError(
                 f"thread program yielded a non-Op: {op!r}")
         self.ops_executed += 1
-        if op.kind == OpKind.COMPUTE:
+        if op.is_memory:
+            self.mem_ops += 1
+            self._issue_cycle = self.queue._now
+            self.l1.access(op, self._mem_complete)
+        elif op.kind is OpKind.COMPUTE:
             self.compute_cycles += op.cycles
             self.queue.schedule(op.cycles, lambda: self._advance(0))
-        elif op.kind == OpKind.FENCE:
-            # In-order, one outstanding op: fences are timing no-ops.
-            self.queue.schedule(0, lambda: self._advance(0))
         else:
-            self.mem_ops += 1
-            self._issue_cycle = self.queue.now
-            self.l1.access(op, self._mem_complete)
+            # FENCE — in-order, one outstanding op: a timing no-op.
+            self.queue.schedule(0, lambda: self._advance(0))
 
     def _mem_complete(self, result: int) -> None:
-        self.mem_stall_cycles += self.queue.now - self._issue_cycle
+        # queue._now read directly (the property is per-mem-op hot).
+        self.mem_stall_cycles += self.queue._now - self._issue_cycle
         self._advance(result)
 
     def _finish(self) -> None:

@@ -8,12 +8,16 @@ static trace cannot express.
 
 Access sizes are 1, 2, 4 or 8 bytes and naturally aligned, mirroring the two
 spare header bits FSLite uses to encode the touched-byte count (Section V-A).
+
+Ops are constructed once per executed instruction, on the innermost
+simulation loop, so :class:`Op` is a ``__slots__`` class and the
+``is_memory``/``is_write`` classifications are plain attributes computed at
+construction rather than properties re-deriving them on every read.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 
@@ -30,35 +34,45 @@ class OpKind(enum.Enum):
     FENCE = enum.auto()
 
 
-@dataclass
 class Op:
-    kind: OpKind
-    addr: int = 0
-    size: int = 4
-    value: int = 0
-    cycles: int = 0
-    modify: Optional[Callable[[int], int]] = None
-    #: Out-of-order hint: the program does not consume this op's result, so
-    #: the core may issue past it.
-    need_value: bool = True
+    """One operation of a thread program.
 
-    def __post_init__(self) -> None:
-        if self.kind in (OpKind.LOAD, OpKind.STORE, OpKind.RMW):
-            if self.size not in (1, 2, 4, 8):
-                raise ValueError(f"bad access size {self.size}")
-            if self.addr % self.size != 0:
+    ``is_memory`` and ``is_write`` are set once in ``__init__``; hot-path
+    consumers (cores, L1 controllers) read them as plain attributes.
+    """
+
+    __slots__ = ("kind", "addr", "size", "value", "cycles", "modify",
+                 "need_value", "is_memory", "is_write")
+
+    def __init__(self, kind: OpKind, addr: int = 0, size: int = 4,
+                 value: int = 0, cycles: int = 0,
+                 modify: Optional[Callable[[int], int]] = None,
+                 need_value: bool = True) -> None:
+        memory = (kind is OpKind.LOAD or kind is OpKind.STORE
+                  or kind is OpKind.RMW)
+        if memory:
+            if size not in (1, 2, 4, 8):
+                raise ValueError(f"bad access size {size}")
+            if addr % size != 0:
                 raise ValueError(
-                    f"unaligned access: addr={self.addr:#x} size={self.size}")
-        if self.kind == OpKind.RMW and self.modify is None:
-            raise ValueError("RMW requires a modify function")
+                    f"unaligned access: addr={addr:#x} size={size}")
+            if kind is OpKind.RMW and modify is None:
+                raise ValueError("RMW requires a modify function")
+        self.kind = kind
+        self.addr = addr
+        self.size = size
+        self.value = value
+        self.cycles = cycles
+        self.modify = modify
+        #: Out-of-order hint: the program does not consume this op's result,
+        #: so the core may issue past it.
+        self.need_value = need_value
+        self.is_memory = memory
+        self.is_write = memory and kind is not OpKind.LOAD
 
-    @property
-    def is_memory(self) -> bool:
-        return self.kind in (OpKind.LOAD, OpKind.STORE, OpKind.RMW)
-
-    @property
-    def is_write(self) -> bool:
-        return self.kind in (OpKind.STORE, OpKind.RMW)
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Op({self.kind.name}, addr={self.addr:#x}, "
+                f"size={self.size}, value={self.value})")
 
 
 def load(addr: int, size: int = 4, need_value: bool = True) -> Op:

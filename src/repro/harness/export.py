@@ -140,6 +140,22 @@ def record_to_dict(record: RunRecord) -> Dict[str, Any]:
     }
 
 
+def record_stats_digest(record: RunRecord) -> str:
+    """Stable content hash of a record's simulation outcome.
+
+    Canonical JSON over cycles plus the full stats block (per-core,
+    per-slice, network, energy, reports, extra).  Two records digest equal
+    iff the simulations behaved identically — this is the cycle-identity
+    contract the golden regression tests and the engine cache rely on.
+    """
+    import hashlib
+
+    payload = {"cycles": record.cycles,
+               "stats": record_to_dict(record)["stats"]}
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 def record_from_dict(data: Dict[str, Any]) -> RunRecord:
     """Rebuild a full ``RunRecord`` (stats, reports, spec) from JSON data."""
     raw = data["stats"]

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 
@@ -105,10 +104,27 @@ _HEADER_BYTES = 8
 _BLOCK_BYTES = 64
 _MD_PAYLOAD_BYTES = 16
 
+
+def _size_of(mtype: MessageType) -> int:
+    if (_CLASS_OF[mtype] is MessageClass.DATA
+            or mtype in (MessageType.PUTM, MessageType.PRV_WB)):
+        return _HEADER_BYTES + _BLOCK_BYTES
+    if mtype is MessageType.REP_MD:
+        return _HEADER_BYTES + _MD_PAYLOAD_BYTES
+    return _HEADER_BYTES
+
+
+#: Hot-path lookup tables indexed by ``MessageType.value`` (enum values are
+#: ``auto()`` so they are 1..N; slot 0 is padding).  Indexing a list by an
+#: int avoids the Python-level ``Enum.__hash__`` the per-message dict
+#: lookups used to pay.
+CLASS_BY_VALUE: tuple = (None,) + tuple(
+    _CLASS_OF[mt] for mt in MessageType)
+SIZE_BY_VALUE: tuple = (0,) + tuple(_size_of(mt) for mt in MessageType)
+
 _msg_ids = itertools.count()
 
 
-@dataclass
 class Message:
     """One interconnect message.
 
@@ -117,29 +133,42 @@ class Message:
     ``req_md`` (bool REQ_MD header bit), ``requestor`` (core id the response
     should unblock), ``read_bits``/``write_bits`` (REP_MD), ``solicited``
     (metadata accounting), ``dirty`` (writebacks).
+
+    A ``__slots__`` class: the simulator allocates one per coherence
+    message, so there is no ``__dict__`` and no dataclass overhead.
+    ``msg_id`` is assigned lazily on first read — only tracing/sanitizing
+    consumers ever need a global message identity, and the counter `next()`
+    is measurable churn on the plain simulation path.
     """
 
-    mtype: MessageType
-    src: int
-    dst: int
-    block_addr: int
-    payload: Dict[str, Any] = field(default_factory=dict)
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    __slots__ = ("mtype", "src", "dst", "block_addr", "payload", "_msg_id")
+
+    def __init__(self, mtype: MessageType, src: int, dst: int,
+                 block_addr: int,
+                 payload: Optional[Dict[str, Any]] = None,
+                 msg_id: Optional[int] = None) -> None:
+        self.mtype = mtype
+        self.src = src
+        self.dst = dst
+        self.block_addr = block_addr
+        self.payload = {} if payload is None else payload
+        self._msg_id = msg_id
+
+    @property
+    def msg_id(self) -> int:
+        """Globally unique id, assigned on first access (lazy)."""
+        mid = self._msg_id
+        if mid is None:
+            mid = self._msg_id = next(_msg_ids)
+        return mid
 
     @property
     def mclass(self) -> MessageClass:
-        return _CLASS_OF[self.mtype]
+        return CLASS_BY_VALUE[self.mtype.value]
 
     @property
     def size_bytes(self) -> int:
-        if self.mclass == MessageClass.DATA or self.mtype in (
-            MessageType.PUTM,
-            MessageType.PRV_WB,
-        ):
-            return _HEADER_BYTES + _BLOCK_BYTES
-        if self.mtype == MessageType.REP_MD:
-            return _HEADER_BYTES + _MD_PAYLOAD_BYTES
-        return _HEADER_BYTES
+        return SIZE_BY_VALUE[self.mtype.value]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -6,17 +6,27 @@ as in real on-chip networks — but messages on different channels can pass
 each other, and larger messages incur a serialization delay. This is what
 makes the protocol races of the paper's Section V-E (e.g. a one-flit
 Inv_PRV overtaking a nine-flit Data_PRV) actually happen in simulation.
+
+Hot-path layout: channel assignment, serialization delay and per-message
+accounting are all per-``MessageType`` tables indexed by enum value and
+built once, and when no observation hooks are attached :meth:`Network.send`
+schedules the destination handler directly — the post-send/post-deliver
+indirection exists only while a tracer or sanitizer is attached.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.common.events import EventQueue
-from repro.interconnect.message import Message, MessageClass, MessageType
+from repro.interconnect.message import (
+    CLASS_BY_VALUE,
+    SIZE_BY_VALUE,
+    Message,
+    MessageClass,
+    MessageType,
+)
 
 #: Virtual-channel assignment. Writeback-ish messages (PUTM, PRV_WB,
 #: CTRL_WB) share a channel so a core's dirty writeback can never be
@@ -25,36 +35,77 @@ from repro.interconnect.message import Message, MessageClass, MessageType
 _WB_TYPES = (MessageType.PUTM, MessageType.PRV_WB, MessageType.CTRL_WB)
 
 
-def channel_of(msg: Message) -> str:
-    if msg.mtype in _WB_TYPES:
+def _channel_of_type(mtype: MessageType) -> str:
+    if mtype in _WB_TYPES:
         return "wb"
-    if msg.mclass == MessageClass.REQUEST:
+    mclass = CLASS_BY_VALUE[mtype.value]
+    if mclass is MessageClass.REQUEST:
         return "req"
-    if msg.mclass == MessageClass.INV_INTERVENTION:
+    if mclass is MessageClass.INV_INTERVENTION:
         return "fwd"
     return "resp"
 
 
-@dataclass
-class NetworkStats:
-    """Message counts and byte volume per traffic class."""
+_CHANNEL_BY_VALUE: tuple = ("",) + tuple(
+    _channel_of_type(mt) for mt in MessageType)
 
-    count: Dict[MessageClass, int] = field(
-        default_factory=lambda: defaultdict(int))
-    bytes: Dict[MessageClass, int] = field(
-        default_factory=lambda: defaultdict(int))
+#: Link width in bytes per cycle (one flit).
+_FLIT_BYTES = 8
+
+#: Serialization delay per message type, derived from the size table.
+_SER_DELAY_BY_VALUE: tuple = (0,) + tuple(
+    max(0, SIZE_BY_VALUE[mt.value] - _FLIT_BYTES) // _FLIT_BYTES
+    for mt in MessageType)
+
+
+def channel_of(msg: Message) -> str:
+    return _CHANNEL_BY_VALUE[msg.mtype.value]
+
+
+class NetworkStats:
+    """Message counts and byte volume per traffic class.
+
+    Internally accumulated per :class:`MessageType` in flat lists indexed
+    by enum value (two C-level increments per message); the per-class dict
+    views are assembled on demand.
+    """
+
+    __slots__ = ("_count_by_type", "_bytes_by_type")
+
+    def __init__(self) -> None:
+        size = len(MessageType) + 1
+        self._count_by_type: List[int] = [0] * size
+        self._bytes_by_type: List[int] = [0] * size
 
     def record(self, msg: Message) -> None:
-        self.count[msg.mclass] += 1
-        self.bytes[msg.mclass] += msg.size_bytes
+        value = msg.mtype.value
+        self._count_by_type[value] += 1
+        self._bytes_by_type[value] += SIZE_BY_VALUE[value]
+
+    def _by_class(self, per_type: List[int]) -> Dict[MessageClass, int]:
+        out: Dict[MessageClass, int] = {}
+        for mtype in MessageType:
+            n = per_type[mtype.value]
+            if n:
+                mclass = CLASS_BY_VALUE[mtype.value]
+                out[mclass] = out.get(mclass, 0) + n
+        return out
+
+    @property
+    def count(self) -> Dict[MessageClass, int]:
+        return self._by_class(self._count_by_type)
+
+    @property
+    def bytes(self) -> Dict[MessageClass, int]:
+        return self._by_class(self._bytes_by_type)
 
     @property
     def total_messages(self) -> int:
-        return sum(self.count.values())
+        return sum(self._count_by_type)
 
     @property
     def total_bytes(self) -> int:
-        return sum(self.bytes.values())
+        return sum(self._bytes_by_type)
 
     def of_class(self, mclass: MessageClass) -> int:
         return self.count.get(mclass, 0)
@@ -76,7 +127,8 @@ class Network:
     """
 
     #: Link width in bytes per cycle (one flit).
-    FLIT_BYTES = 8
+    FLIT_BYTES = _FLIT_BYTES
+    _SER_DELAY_BY_VALUE = _SER_DELAY_BY_VALUE
 
     def __init__(self, queue: EventQueue, latency: int,
                  ordered_source_min: Optional[int] = None) -> None:
@@ -95,8 +147,11 @@ class Network:
         #: Observation hooks (tracers, sanitizers): ``post_send`` fires when
         #: a message is injected, ``post_deliver`` after the destination
         #: handler has processed it. Hooks must not send messages themselves.
+        #: While both lists are empty ``send`` takes a fast path that
+        #: schedules the destination handler with no extra indirection.
         self.post_send_hooks: list = []
         self.post_deliver_hooks: list = []
+        self._hooked = False
 
     def register(self, node_id: int, handler: Callable[[Message], None]) -> None:
         if node_id in self._handlers:
@@ -110,6 +165,7 @@ class Network:
             self.post_send_hooks.append(post_send)
         if post_deliver is not None:
             self.post_deliver_hooks.append(post_deliver)
+        self._hooked = bool(self.post_send_hooks or self.post_deliver_hooks)
 
     def remove_hooks(self, post_send: Optional[Callable] = None,
                      post_deliver: Optional[Callable] = None) -> None:
@@ -117,28 +173,36 @@ class Network:
             self.post_send_hooks.remove(post_send)
         if post_deliver is not None and post_deliver in self.post_deliver_hooks:
             self.post_deliver_hooks.remove(post_deliver)
+        self._hooked = bool(self.post_send_hooks or self.post_deliver_hooks)
 
     def serialization_delay(self, msg: Message) -> int:
-        return max(0, (msg.size_bytes - self.FLIT_BYTES)) // self.FLIT_BYTES
+        return self._SER_DELAY_BY_VALUE[msg.mtype.value]
 
     def send(self, msg: Message, extra_delay: int = 0) -> None:
         """Inject ``msg``; arrival after latency + serialization + extra."""
-        if msg.dst not in self._handlers:
+        handler = self._handlers.get(msg.dst)
+        if handler is None:
             raise SimulationError(f"no handler registered for node {msg.dst}")
-        self.stats.record(msg)
-        arrival = (self._queue.now + self.latency
-                   + self.serialization_delay(msg) + extra_delay)
+        value = msg.mtype.value
+        self.stats._count_by_type[value] += 1
+        self.stats._bytes_by_type[value] += SIZE_BY_VALUE[value]
+        arrival = (self._queue._now + self.latency
+                   + self._SER_DELAY_BY_VALUE[value] + extra_delay)
         if (self.ordered_source_min is not None
                 and msg.src >= self.ordered_source_min):
             channel = "ordered"
         else:
-            channel = channel_of(msg)
+            channel = _CHANNEL_BY_VALUE[value]
         key = (msg.src, msg.dst, channel)
         floor = self._last_delivery.get(key, -1)
         if arrival < floor:
             arrival = floor  # FIFO within a virtual channel
         self._last_delivery[key] = arrival
-        handler = self._handlers[msg.dst]
+        if not self._hooked:
+            # Fast path: no tracer/sanitizer attached — the scheduled event
+            # invokes the destination handler directly.
+            self._queue.schedule_at(arrival, lambda: handler(msg))
+            return
         self._queue.schedule_at(arrival, lambda: self._deliver(handler, msg))
         for hook in self.post_send_hooks:
             hook(msg)

@@ -4,27 +4,52 @@ Used for the L1 data cache, the LLC, and the SAM metadata table — anything
 that maps a block address to an entry with bounded associativity and a
 replacement policy. Entries are user-defined objects attached to a
 :class:`CacheEntry` frame that carries the tag and validity.
+
+Two hot-path properties:
+
+* **Lazy sets** — a 16 MB LLC is ~256K entry frames; building them eagerly
+  dominated cold-run machine construction.  A set's frames and replacement
+  policy materialize on first touch, so untouched sets cost nothing and a
+  peek into one is a single ``None`` check.
+* **Shift/mask indexing** — when block size, slice interleave and set count
+  are powers of two (every shipped configuration), tag/set extraction is
+  one shift and one mask instead of two divisions and a modulo; the
+  division path remains as the general fallback.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generic, Iterator, List, Optional, Sequence, TypeVar
+from typing import Callable, Generic, Iterator, List, Optional, Sequence, TypeVar
 
 from repro.memsys.replacement import ReplacementPolicy, make_policy
 
 T = TypeVar("T")
 
 
-@dataclass
-class CacheEntry(Generic[T]):
-    """One way of one set: a tag frame plus a user payload."""
+def _pow2_bits(value: int) -> Optional[int]:
+    """``log2(value)`` when ``value`` is a power of two, else None."""
+    if value >= 1 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return None
 
-    valid: bool = False
-    tag: int = -1
-    payload: Optional[T] = None
-    way: int = -1
-    set_index: int = -1
+
+class CacheEntry(Generic[T]):
+    """One way of one set: a tag frame plus a user payload.
+
+    ``__slots__``: the tag-match loop touches ``valid``/``tag`` on every
+    lookup, and large arrays hold hundreds of thousands of frames.
+    """
+
+    __slots__ = ("valid", "tag", "payload", "way", "set_index")
+
+    def __init__(self, valid: bool = False, tag: int = -1,
+                 payload: Optional[T] = None, way: int = -1,
+                 set_index: int = -1) -> None:
+        self.valid = valid
+        self.tag = tag
+        self.payload = payload
+        self.way = way
+        self.set_index = set_index
 
 
 class CacheArray(Generic[T]):
@@ -54,14 +79,25 @@ class CacheArray(Generic[T]):
         #: the slice-local block number keeps all sets usable.
         self.index_divisor = index_divisor
         self.index_offset = index_offset
-        self._sets: List[List[CacheEntry[T]]] = [
-            [CacheEntry(way=w, set_index=s) for w in range(ways)]
-            for s in range(num_sets)
-        ]
-        if policy_factory is None:
-            self._policies = [make_policy(policy, ways) for _ in range(num_sets)]
+        # local_block = (addr // block_size) // index_divisor
+        #             = addr // (block_size * index_divisor); when all three
+        # granularities are powers of two the set/tag split is shift+mask.
+        local_bits = _pow2_bits(block_size * index_divisor)
+        set_bits = _pow2_bits(num_sets)
+        if local_bits is not None and set_bits is not None:
+            self._local_shift: Optional[int] = local_bits
+            self._set_mask = num_sets - 1
+            self._tag_shift = local_bits + set_bits
         else:
-            self._policies = [policy_factory(ways) for _ in range(num_sets)]
+            self._local_shift = None
+            self._set_mask = 0
+            self._tag_shift = 0
+        if policy_factory is None:
+            policy_factory = lambda ways: make_policy(policy, ways)  # noqa: E731
+        self._policy_factory = policy_factory
+        #: Sets (and their policies) materialize on first touch.
+        self._sets: List[Optional[List[CacheEntry[T]]]] = [None] * num_sets
+        self._policies: List[Optional[ReplacementPolicy]] = [None] * num_sets
         # Statistics.
         self.lookups = 0
         self.hits = 0
@@ -72,31 +108,68 @@ class CacheArray(Generic[T]):
     # -- indexing -----------------------------------------------------------
 
     def _local_block(self, block_addr: int) -> int:
+        if self._local_shift is not None:
+            return block_addr >> self._local_shift
         return (block_addr // self.block_size) // self.index_divisor
 
     def set_index_of(self, block_addr: int) -> int:
+        if self._local_shift is not None:
+            return (block_addr >> self._local_shift) & self._set_mask
         return self._local_block(block_addr) % self.num_sets
 
     def _tag_of(self, block_addr: int) -> int:
+        if self._local_shift is not None:
+            return block_addr >> self._tag_shift
         return self._local_block(block_addr) // self.num_sets
+
+    def _materialize(self, set_index: int) -> List[CacheEntry[T]]:
+        ways = [CacheEntry(way=w, set_index=set_index)
+                for w in range(self.ways)]
+        self._sets[set_index] = ways
+        self._policies[set_index] = self._policy_factory(self.ways)
+        return ways
 
     # -- operations ---------------------------------------------------------
 
     def lookup(self, block_addr: int, touch: bool = True) -> Optional[CacheEntry[T]]:
-        """Return the entry holding ``block_addr`` or None. Updates stats."""
+        """Return the entry holding ``block_addr`` or None. Updates stats.
+
+        :meth:`peek` folded inline — this runs once per memory access.
+        """
         self.lookups += 1
-        entry = self.peek(block_addr)
-        if entry is not None:
-            self.hits += 1
-            if touch:
-                self._policies[entry.set_index].touch(entry.way)
-        return entry
+        shift = self._local_shift
+        if shift is not None:
+            set_index = (block_addr >> shift) & self._set_mask
+            tag = block_addr >> self._tag_shift
+        else:
+            local = (block_addr // self.block_size) // self.index_divisor
+            set_index = local % self.num_sets
+            tag = local // self.num_sets
+        ways = self._sets[set_index]
+        if ways is None:
+            return None
+        for entry in ways:
+            if entry.valid and entry.tag == tag:
+                self.hits += 1
+                if touch:
+                    self._policies[set_index].touch(entry.way)
+                return entry
+        return None
 
     def peek(self, block_addr: int) -> Optional[CacheEntry[T]]:
         """Tag-match without touching replacement state or stats."""
-        set_index = self.set_index_of(block_addr)
-        tag = self._tag_of(block_addr)
-        for entry in self._sets[set_index]:
+        shift = self._local_shift
+        if shift is not None:
+            set_index = (block_addr >> shift) & self._set_mask
+            tag = block_addr >> self._tag_shift
+        else:
+            local = (block_addr // self.block_size) // self.index_divisor
+            set_index = local % self.num_sets
+            tag = local // self.num_sets
+        ways = self._sets[set_index]
+        if ways is None:
+            return None
+        for entry in ways:
             if entry.valid and entry.tag == tag:
                 return entry
         return None
@@ -107,6 +180,8 @@ class CacheArray(Generic[T]):
         """Return the entry (possibly valid) to be replaced for a fill."""
         set_index = self.set_index_of(block_addr)
         ways = self._sets[set_index]
+        if ways is None:
+            ways = self._materialize(set_index)
         for entry in ways:
             if not entry.valid:
                 return entry
@@ -173,6 +248,8 @@ class CacheArray(Generic[T]):
 
     def iter_valid(self) -> Iterator[CacheEntry[T]]:
         for ways in self._sets:
+            if ways is None:
+                continue
             for entry in ways:
                 if entry.valid:
                     yield entry

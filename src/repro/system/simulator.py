@@ -51,12 +51,14 @@ class Simulator:
         for core in machine.cores:
             core.start()
         queue = machine.queue
-        start_events = queue.executed
-        while queue.step():
-            if queue.executed - start_events > self.max_events:
-                raise SimulationError(
-                    f"exceeded {self.max_events} events; livelock suspected "
-                    f"(cores done: {[c.done for c in machine.cores]})")
+        # The queue's drain() is the folded-inline step loop: one heap pop
+        # per event with no per-event method call.  Executing more than
+        # max_events means runaway/livelock.
+        executed = queue.drain(self.max_events + 1)
+        if executed > self.max_events:
+            raise SimulationError(
+                f"exceeded {self.max_events} events; livelock suspected "
+                f"(cores done: {[c.done for c in machine.cores]})")
         for core in machine.cores:
             if not core.done:
                 raise SimulationError(
@@ -155,8 +157,11 @@ class MemoryImage(dict):
         return self._memory.peek_block(block_addr)
 
     def get(self, block_addr: int, default=None):
-        if block_addr in self:
-            return super().__getitem__(block_addr)
+        # One dict probe: overlay values are bytes, never None, so dict.get
+        # (which does not trigger __missing__) distinguishes presence.
+        data = dict.get(self, block_addr)
+        if data is not None:
+            return data
         return self._memory.peek_block(block_addr)
 
 
@@ -172,9 +177,10 @@ def flush_machine_memory(machine: Machine) -> "MemoryImage":
     image: Dict[int, bytearray] = {}
 
     def block_of(addr: int) -> bytearray:
-        if addr not in image:
-            image[addr] = bytearray(machine.memory.peek_block(addr))
-        return image[addr]
+        block = image.get(addr)
+        if block is None:
+            block = image[addr] = bytearray(machine.memory.peek_block(addr))
+        return block
 
     for sl in machine.slices:
         for entry in sl.llc.iter_valid():

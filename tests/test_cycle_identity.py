@@ -1,0 +1,68 @@
+"""Golden cycle-identity regression guard.
+
+``tests/data/golden_identity.json`` was recorded *before* the hot-path
+kernel overhaul (slotted events/messages, table dispatch, fast-path
+network, lazy cache arrays): for one false-sharing workload (RC) and one
+without false sharing (FA), at a fixed seed and scale, under all three
+protocol modes with the sanitizer both off and on, it pins the exact cycle
+count, total message count, total network bytes, and a sha256 over the
+record's full canonical stats.
+
+Any optimisation that changes one of these numbers changed simulator
+*behaviour*, not just speed — which would also silently invalidate the
+engine's result cache and every committed benchmark checksum.  Entries are
+keyed by ``RunSpec.digest()`` so the guard also fails loudly if the spec
+encoding itself drifts.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.coherence.states import ProtocolMode
+from repro.common.config import SystemConfig
+from repro.harness.export import record_stats_digest
+from repro.harness.runner import RunSpec, execute_spec
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_identity.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+def _spec_for(entry: dict) -> RunSpec:
+    config = SystemConfig()
+    if entry["sanitizer"]:
+        config = config.with_sanitizer(enabled=True)
+    return RunSpec(tag=entry["tag"], mode=ProtocolMode(entry["mode"]),
+                   scale=entry["scale"], config=config)
+
+
+def _case_id(item) -> str:
+    digest, entry = item
+    san = "+san" if entry["sanitizer"] else ""
+    return f"{entry['tag']}-{entry['mode']}{san}"
+
+
+@pytest.mark.parametrize("digest,entry", sorted(GOLDEN.items()),
+                         ids=[_case_id(kv) for kv in sorted(GOLDEN.items())])
+def test_golden_identity(digest, entry):
+    spec = _spec_for(entry)
+    assert spec.digest() == digest, \
+        "RunSpec digest drifted: the spec encoding changed"
+    record = execute_spec(spec)
+    network = record.stats.network
+    assert record.cycles == entry["cycles"]
+    assert network["msgs_total"] == entry["msgs_total"]
+    assert network["bytes_total"] == entry["bytes_total"]
+    assert record_stats_digest(record) == entry["stats_sha256"]
+
+
+def test_golden_covers_all_modes_and_sanitizer_states():
+    """The fixture spans {RC, FA} x all modes x sanitizer {off, on}."""
+    seen = {(e["tag"], e["mode"], e["sanitizer"]) for e in GOLDEN.values()}
+    expected = {(tag, mode.value, san)
+                for tag in ("RC", "FA")
+                for mode in ProtocolMode
+                for san in (False, True)}
+    assert seen == expected
+    assert len(GOLDEN) == len(expected)

@@ -311,3 +311,32 @@ class TestCliEngineFlags:
         assert main(["compare", "ww", "--scale", "0.1", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "fslite" in out and "manual-fix" in out
+
+
+class TestCacheCompatibility:
+    """The kernel overhaul must not orphan pre-existing cached results."""
+
+    FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "data",
+                               "engine_cache")
+    FIXTURE_SPEC = RunSpec(tag="ww", mode=ProtocolMode.FSLITE, scale=0.5)
+
+    def test_code_version_unchanged(self):
+        # The optimisations are behaviour-preserving, so cached records from
+        # before them are still valid; bumping the stamp would throw every
+        # user's cache away for nothing.
+        assert CODE_VERSION == "2"
+
+    def test_prechange_cache_record_replays_digest_equal(self):
+        from repro.harness.export import record_stats_digest
+
+        fixture = os.path.join(self.FIXTURE_DIR,
+                               self.FIXTURE_SPEC.digest() + ".json")
+        assert os.path.exists(fixture), \
+            "cache fixture missing: spec digest drifted"
+        engine = Engine(cache_dir=self.FIXTURE_DIR)
+        cached = engine.run_one(self.FIXTURE_SPEC)
+        assert engine.stats["cache_hits"] == 1, \
+            "fixture written before the overhaul was not accepted as a hit"
+        fresh = execute_spec(self.FIXTURE_SPEC)
+        assert cached.cycles == fresh.cycles
+        assert record_stats_digest(cached) == record_stats_digest(fresh)
