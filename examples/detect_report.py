@@ -11,9 +11,7 @@ Run:  python examples/detect_report.py [scale]
 
 import sys
 
-from repro.coherence.states import ProtocolMode
-from repro.harness.runner import run_workload
-from repro.workloads.registry import ALL_WORKLOADS, REGISTRY
+from repro.api import ALL_WORKLOADS, REGISTRY, ProtocolMode, run_workload
 
 
 def main():

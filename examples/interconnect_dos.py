@@ -12,8 +12,15 @@ under FSLite the attack collapses after privatization.
 Run:  python examples/interconnect_dos.py
 """
 
-from repro import ProtocolMode, Simulator, SystemConfig, build_machine
-from repro.cpu.ops import compute, load, store
+from repro.api import (
+    ProtocolMode,
+    Simulator,
+    SystemConfig,
+    build_machine,
+    compute,
+    load,
+    store,
+)
 
 ATTACK_LINES = 32
 ATTACK_BASE = 0x100000

@@ -10,10 +10,18 @@ touches, then pure hits), a true-sharing conflict, and termination
 Run:  python examples/protocol_anatomy.py
 """
 
-from repro import ProtocolMode, Simulator, SystemConfig, build_machine
-from repro.cpu.ops import compute, fetch_add, store
-from repro.system.simulator import flush_machine_memory
-from repro.system.tracing import FSLITE_TYPES, MessageTracer
+from repro.api import (
+    FSLITE_TYPES,
+    MessageTracer,
+    ProtocolMode,
+    Simulator,
+    SystemConfig,
+    build_machine,
+    compute,
+    fetch_add,
+    flush_machine_memory,
+    store,
+)
 
 LINE = 0x40000
 

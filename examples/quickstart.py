@@ -9,9 +9,15 @@ and compare cycles, miss rates and interconnect traffic.
 Run:  python examples/quickstart.py
 """
 
-from repro import ProtocolMode, Simulator, SystemConfig, build_machine
-from repro.cpu.ops import compute, fetch_add
-from repro.system.simulator import flush_machine_memory
+from repro.api import (
+    ProtocolMode,
+    Simulator,
+    SystemConfig,
+    build_machine,
+    compute,
+    fetch_add,
+    flush_machine_memory,
+)
 
 ITERS = 800
 COUNTERS = 0x10000  # four 8-byte counters, all in one 64-byte line

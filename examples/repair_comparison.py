@@ -10,9 +10,7 @@ hardware fix beats the hand fix (paper: 3.91X vs 3.06X).
 Run:  python examples/repair_comparison.py
 """
 
-from repro.coherence.states import ProtocolMode
-from repro.harness.baselines import run_huron, run_manual_fix
-from repro.harness.runner import run_workload
+from repro.api import ProtocolMode, run_huron, run_manual_fix, run_workload
 
 
 def main():

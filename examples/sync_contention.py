@@ -13,8 +13,17 @@ Run:  python examples/sync_contention.py
 
 from collections import Counter
 
-from repro import ProtocolMode, Simulator, SystemConfig, build_machine
-from repro.cpu.ops import cas, compute, fetch_add, load, store
+from repro.api import (
+    ProtocolMode,
+    Simulator,
+    SystemConfig,
+    build_machine,
+    cas,
+    compute,
+    fetch_add,
+    load,
+    store,
+)
 
 HOT_LOCK = 0x10000     # one global lock everyone fights over
 COLD_LOCKS = 0x20000   # per-thread locks, padded: no contention

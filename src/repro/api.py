@@ -1,0 +1,148 @@
+"""Stable public facade of the repro package.
+
+One import surface for scripts, notebooks and downstream code::
+
+    from repro.api import RunSpec, Engine, ProtocolMode
+
+    engine = Engine()
+    record = engine.run_one(RunSpec(tag="ww", mode=ProtocolMode.FSLITE))
+    print(record.cycles, record.stats.summary())
+
+Everything exported here is covered by the examples and the test suite and
+is kept backward compatible; internals reached by deeper imports
+(``repro.coherence.directory`` etc.) may change between versions.
+
+The surface groups into:
+
+* **machine level** — ``SystemConfig``/``build_machine``/``Simulator`` for
+  hand-driven simulations, with ``load``/``store``/... op constructors and
+  ``flush_machine_memory`` for checking final memory;
+* **harness level** — ``RunSpec``→``Engine``→``RunRecord`` (cached,
+  deduped, parallel) plus the ``run_workload`` shim and the paper's
+  baseline helpers;
+* **observability** — ``ObsConfig`` on a spec, ``Observer`` instruments
+  (``MessageTracer``, ``MetricsSampler``, ``EpisodeTracker``,
+  ``Sanitizer``) for hand-built machines, and the Chrome-trace/Perfetto
+  exporters.
+"""
+
+from __future__ import annotations
+
+# -- machine level ---------------------------------------------------------
+
+from repro import __version__
+from repro.common.config import (
+    CacheConfig,
+    EnergyConfig,
+    ObsConfig,
+    ProtocolConfig,
+    SanitizerConfig,
+    SystemConfig,
+)
+from repro.coherence.states import (
+    DirState,
+    L1State,
+    ProtocolMode,
+    TerminationCause,
+)
+from repro.core.report import FalseSharingReport
+from repro.cpu.ops import cas, compute, fetch_add, load, store
+from repro.interconnect.message import FSLITE_TYPES, Message, MessageType
+from repro.system.builder import Machine, build_machine
+from repro.system.simulator import (
+    RunResult,
+    Simulator,
+    flush_machine_memory,
+)
+from repro.system.stats import SimStats
+from repro.workloads.registry import ALL_WORKLOADS, REGISTRY, make_workload
+
+# -- harness level ---------------------------------------------------------
+
+from repro.harness.baselines import run_huron, run_manual_fix
+from repro.harness.engine import Engine, EngineError, default_cache_dir
+from repro.harness.export import (
+    record_from_dict,
+    record_to_dict,
+    records_from_json,
+    records_to_json,
+)
+from repro.harness.runner import (
+    RunRecord,
+    RunSpec,
+    execute_spec,
+    run_workload,
+)
+
+# -- observability ---------------------------------------------------------
+
+from repro.check.sanitizer import InvariantViolation, Sanitizer
+from repro.obs import (
+    EpisodeTracker,
+    MetricsRegistry,
+    MetricsSampler,
+    Observer,
+    chrome_trace,
+    trace_from_record,
+    write_chrome_trace,
+)
+from repro.system.tracing import MessageTracer, TraceEntry
+
+__all__ = [
+    "__version__",
+    # machine level
+    "CacheConfig",
+    "EnergyConfig",
+    "ObsConfig",
+    "ProtocolConfig",
+    "SanitizerConfig",
+    "SystemConfig",
+    "DirState",
+    "L1State",
+    "ProtocolMode",
+    "TerminationCause",
+    "FalseSharingReport",
+    "cas",
+    "compute",
+    "fetch_add",
+    "load",
+    "store",
+    "FSLITE_TYPES",
+    "Message",
+    "MessageType",
+    "Machine",
+    "build_machine",
+    "RunResult",
+    "Simulator",
+    "flush_machine_memory",
+    "SimStats",
+    "ALL_WORKLOADS",
+    "REGISTRY",
+    "make_workload",
+    # harness level
+    "run_huron",
+    "run_manual_fix",
+    "Engine",
+    "EngineError",
+    "default_cache_dir",
+    "record_from_dict",
+    "record_to_dict",
+    "records_from_json",
+    "records_to_json",
+    "RunRecord",
+    "RunSpec",
+    "execute_spec",
+    "run_workload",
+    # observability
+    "InvariantViolation",
+    "Sanitizer",
+    "EpisodeTracker",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "Observer",
+    "chrome_trace",
+    "trace_from_record",
+    "write_chrome_trace",
+    "MessageTracer",
+    "TraceEntry",
+]

@@ -57,6 +57,7 @@ from repro.common.bitvec import iter_set_bits
 from repro.common.config import SanitizerConfig
 from repro.common.errors import ReproError
 from repro.interconnect.message import Message, MessageType
+from repro.obs.observer import Observer
 from repro.system.builder import Machine
 from repro.system.tracing import TraceEntry
 
@@ -99,10 +100,11 @@ class InvariantViolation(ReproError):
         super().__init__("\n".join(lines))
 
 
-class Sanitizer:
+class Sanitizer(Observer):
     """Online invariant checker for one machine.
 
-    Use as a context manager around a run, or via ``attach``/``detach``::
+    An :class:`~repro.obs.observer.Observer`: use as a context manager
+    around a run, or via ``attach``/``detach``::
 
         with Sanitizer(machine) as san:
             Simulator(machine).run()
@@ -111,7 +113,7 @@ class Sanitizer:
 
     def __init__(self, machine: Machine,
                  config: Optional[SanitizerConfig] = None) -> None:
-        self.machine = machine
+        super().__init__(machine)
         self.config = config or machine.config.sanitizer
         self.age_limit = self.config.busy_age_limit or self._derive_age_limit()
         self._ring: Deque[TraceEntry] = deque(maxlen=self.config.history)
@@ -128,7 +130,6 @@ class Sanitizer:
         #: consecutive contexts on a hot block are never conflated.
         self._ages: Dict[Tuple[str, int, int], Tuple[int, int]] = {}
         self._since_sweep = 0
-        self._attached = False
         self._orig_step = None
         # Statistics.
         self.blocks_checked = 0
@@ -136,12 +137,10 @@ class Sanitizer:
 
     # ------------------------------------------------------------ lifecycle
 
-    def attach(self) -> "Sanitizer":
-        if self._attached:
-            raise RuntimeError("sanitizer already attached")
-        self.machine.network.add_hooks(post_send=self._on_send,
-                                       post_deliver=self._on_deliver)
-        queue = self.machine.queue
+    def on_attach(self, machine: Machine) -> None:
+        # The periodic sweep rides on the event queue's step, not on
+        # message delivery, so it also fires through traffic-free stretches.
+        queue = machine.queue
         self._orig_step = queue.step
 
         def stepped() -> bool:
@@ -154,27 +153,14 @@ class Sanitizer:
             return ran
 
         queue.step = stepped  # type: ignore[method-assign]
-        self._attached = True
-        return self
 
-    def detach(self) -> None:
-        if not self._attached:
-            return
-        self.machine.network.remove_hooks(post_send=self._on_send,
-                                          post_deliver=self._on_deliver)
-        del self.machine.queue.step  # restore the class method
+    def on_detach(self, machine: Machine) -> None:
+        del machine.queue.step  # restore the class method
         self._orig_step = None
-        self._attached = False
-
-    def __enter__(self) -> "Sanitizer":
-        return self.attach()
-
-    def __exit__(self, *exc) -> None:
-        self.detach()
 
     # ----------------------------------------------------------- hook entry
 
-    def _on_send(self, msg: Message) -> None:
+    def on_send(self, msg: Message) -> None:
         self._ring.append(TraceEntry(
             cycle=self.machine.queue.now, mtype=msg.mtype,
             src=msg.src, dst=msg.dst, block_addr=msg.block_addr,
@@ -182,7 +168,7 @@ class Sanitizer:
         self._inflight[msg.block_addr] = \
             self._inflight.get(msg.block_addr, 0) + 1
 
-    def _on_deliver(self, msg: Message) -> None:
+    def on_deliver(self, msg: Message) -> None:
         block = msg.block_addr
         left = self._inflight.get(block, 0) - 1
         if left > 0:

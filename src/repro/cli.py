@@ -14,6 +14,9 @@
   attached, and shrink any failure to a minimal pytest repro.
 * ``profile`` — run one workload under cProfile and print the hottest
   functions (the profiling companion to ``benchmarks/bench_kernel.py``).
+* ``trace <tag|experiment>`` — run one workload with the observability
+  layer attached and export a Chrome-trace/Perfetto JSON timeline of its
+  detection/privatization episodes and metric time series.
 * ``list`` — available workloads and experiments.
 
 Every simulating command accepts ``--jobs N`` (fan simulations out over N
@@ -33,7 +36,7 @@ from typing import List, Optional
 from repro.check.fuzz import FAMILIES, fuzz_campaign
 from repro.check.mutations import MUTATIONS
 from repro.coherence.states import ProtocolMode
-from repro.common.config import SystemConfig
+from repro.common.config import ObsConfig, SystemConfig
 from repro.common.errors import ReproError
 from repro.harness import experiments as E
 from repro.harness import profiling
@@ -92,6 +95,13 @@ def _parser() -> argparse.ArgumentParser:
                             "attached (invariant violations abort the run)")
     run_p.add_argument("--csv", metavar="PATH",
                        help="append the flattened record to a CSV file")
+    run_p.add_argument("--obs", action="store_true",
+                       help="attach the observability layer (episode "
+                            "tracker + metrics sampler) and print a "
+                            "summary")
+    run_p.add_argument("--obs-out", metavar="PATH",
+                       help="also export the run's Chrome-trace JSON to "
+                            "PATH (implies --obs)")
     _add_engine_args(run_p)
 
     cmp_p = sub.add_parser("compare",
@@ -173,6 +183,28 @@ def _parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--stats-out", metavar="PATH",
                         help="also dump the raw profile for pstats/snakeviz")
 
+    trc_p = sub.add_parser("trace", help="export a Chrome-trace/Perfetto "
+                                         "timeline of one observed run")
+    trc_p.add_argument("target", nargs="?", default="RC",
+                       help="workload tag or experiment name (an experiment "
+                            "maps to a representative workload; default RC)")
+    trc_p.add_argument("--protocol", default="fslite",
+                       choices=[m.value for m in ProtocolMode])
+    trc_p.add_argument("--layout", default="packed",
+                       choices=["packed", "padded", "huron"])
+    trc_p.add_argument("--scale", type=float, default=1.0)
+    trc_p.add_argument("--threads", type=int, default=4)
+    trc_p.add_argument("--seed", type=int, default=0)
+    trc_p.add_argument("--sample-period", type=int, default=2000,
+                       metavar="CYCLES",
+                       help="cycles between metric samples (default 2000)")
+    trc_p.add_argument("--out", metavar="PATH",
+                       help="trace file to write (default trace_<tag>.json)")
+    trc_p.add_argument("--smoke", action="store_true",
+                       help="small fixed CI run (ww microbenchmark at "
+                            "scale 0.1)")
+    _add_engine_args(trc_p)
+
     sub.add_parser("list", help="available workloads and experiments")
     return parser
 
@@ -196,16 +228,28 @@ def _engine_from_args(args, progress=None) -> Engine:
 def _cmd_run(args) -> int:
     engine = _engine_from_args(args)
     config = SystemConfig().with_sanitizer() if args.sanitize else None
+    obs = ObsConfig() if (args.obs or args.obs_out) else None
     spec = RunSpec(tag=args.tag, mode=ProtocolMode(args.protocol),
                    layout=args.layout, config=config, scale=args.scale,
                    num_threads=args.threads, seed=args.seed,
-                   core_model=args.core)
+                   core_model=args.core, obs=obs)
     record = engine.run_one(spec)
     for key, value in record.stats.summary().items():
         print(f"{key:22s} {value}")
     if args.sanitize:
         checked = record.extra.get("sanitizer_blocks_checked", "?")
         print(f"{'sanitizer':22s} clean ({checked} block states checked)")
+    if obs is not None:
+        payload = record.extra["obs"]
+        episodes = payload.get("episodes", [])
+        samples = len(payload.get("metrics", {}).get("series", []))
+        print(f"{'obs':22s} {len(episodes)} episode(s), "
+              f"{samples} metric sample(s)")
+        if args.obs_out:
+            from repro.obs import trace_from_record, write_chrome_trace
+
+            write_chrome_trace(args.obs_out, trace_from_record(record))
+            print(f"trace written to {args.obs_out}")
     if args.csv:
         records_to_csv([record], args.csv)
         print(f"record written to {args.csv}")
@@ -336,6 +380,73 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+#: Representative workload traced when the target names an experiment:
+#: fig15 studies the no-false-sharing applications, everything else is
+#: dominated by the falsely-sharing ones.
+_TRACE_EXPERIMENT_TAG = {"fig15": "FA"}
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import trace_from_record, write_chrome_trace
+
+    target = args.target
+    if target in REGISTRY:
+        tag = target
+    elif target in EXPERIMENTS:
+        tag = _TRACE_EXPERIMENT_TAG.get(target, "RC")
+        print(f"tracing representative workload {tag} for {target}",
+              file=sys.stderr)
+    else:
+        print(f"repro: error: unknown trace target {target!r} (expected a "
+              f"workload tag or experiment name)", file=sys.stderr)
+        return 2
+    scale = args.scale
+    if args.smoke:
+        tag, scale = "ww", min(scale, 0.1)
+    engine = _engine_from_args(args)
+    spec = RunSpec(tag=tag, mode=ProtocolMode(args.protocol),
+                   layout=args.layout, scale=scale,
+                   num_threads=args.threads, seed=args.seed,
+                   obs=ObsConfig(sample_period=args.sample_period))
+    record = engine.run_one(spec)
+    trace = trace_from_record(record)
+    out = args.out or f"trace_{tag}.json"
+    write_chrome_trace(out, trace)
+
+    payload = record.extra["obs"]
+    episodes = payload.get("episodes", [])
+    flagged = sorted({e["block_addr"] for e in episodes
+                      if e["flag_cycle"] is not None})
+    causes: dict = {}
+    for episode in episodes:
+        cause = episode["termination_cause"]
+        if cause is not None and cause != "report":
+            causes[cause] = causes.get(cause, 0) + 1
+    samples = len(payload.get("metrics", {}).get("series", []))
+    print(f"{tag} {spec.mode.value}: {record.cycles} cycles, "
+          f"{len(episodes)} episode(s) on {len(flagged)} block(s), "
+          f"{samples} metric sample(s)")
+    for cause, count in sorted(causes.items()):
+        print(f"  terminations[{cause}] = {count}")
+    print(f"trace written to {out} "
+          f"({len(trace['traceEvents'])} events; open in "
+          f"https://ui.perfetto.dev or chrome://tracing)")
+
+    # Consistency: the spans must tell the same story as the FsReport.
+    reported = sorted({r.block_addr for r in record.stats.reports})
+    stat_terms = {c: n for c, n in record.stats.terminations.items() if n}
+    ok = True
+    if flagged != reported:
+        print(f"repro: trace/FsReport mismatch: episode blocks {flagged} "
+              f"vs reported blocks {reported}", file=sys.stderr)
+        ok = False
+    if causes != stat_terms:
+        print(f"repro: trace/stats mismatch: episode terminations {causes} "
+              f"vs slice counters {stat_terms}", file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
 def _cmd_list(_args) -> int:
     print("Applications with false sharing (Table III):")
     print("  " + " ".join(t for t in ALL_WORKLOADS
@@ -359,6 +470,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "fuzz": _cmd_fuzz,
         "profile": _cmd_profile,
+        "trace": _cmd_trace,
         "list": _cmd_list,
     }[args.command]
     try:

@@ -25,6 +25,26 @@ from typing import Callable, Deque, Dict, List, Optional, Set
 
 from repro.common.config import SystemConfig
 from repro.common.errors import ProtocolError
+from repro.common.statkeys import (
+    SLICE_CHK_FAIL,
+    SLICE_CHK_PASS,
+    SLICE_INTERVENTIONS_SENT,
+    SLICE_INVALIDATIONS_SENT,
+    SLICE_LLC_DATA_ACCESSES,
+    SLICE_MEMORY_FETCHES,
+    SLICE_MEMORY_WRITEBACKS,
+    SLICE_PRIVATIZATION_ABORTS,
+    SLICE_PRIVATIZATIONS,
+    SLICE_PRV_JOINS,
+    SLICE_RECALLS,
+    SLICE_REGRANTS,
+    SLICE_REQUESTS,
+    SLICE_SAM_ACCESSES,
+    SLICE_STALE_PUTM,
+    SLICE_STAT_KEYS,
+    SLICE_UPGRADES_CONVERTED,
+    term_key,
+)
 from repro.common.events import EventQueue
 from repro.coherence.states import (
     BusyKind,
@@ -128,18 +148,11 @@ class DirectorySlice:
             self.detector.now = lambda: self.queue.now
         self._busy: Dict[int, BusyCtx] = {}
         self._pending: Dict[int, Deque[Message]] = {}
-        self.stats: Dict[str, int] = {
-            "requests": 0, "interventions_sent": 0, "invalidations_sent": 0,
-            "privatizations": 0, "privatization_aborts": 0,
-            "prv_joins": 0, "chk_pass": 0, "chk_fail": 0,
-            "upgrades_converted": 0, "regrants": 0,
-            "memory_fetches": 0, "memory_writebacks": 0,
-            "llc_data_accesses": 0, "sam_accesses": 0,
-            "stale_putm": 0, "recalls": 0,
-            "term_conflict": 0, "term_llc_eviction": 0,
-            "term_sam_eviction": 0, "term_external_socket": 0,
-            "term_init_abort": 0,
-        }
+        #: Episode observer (repro.obs.episodes.EpisodeTracker) or None.
+        #: Hook calls below are None-guarded so an unobserved run pays
+        #: one attribute load per episode *event*, never per message.
+        self.obs = None
+        self.stats: Dict[str, int] = dict.fromkeys(SLICE_STAT_KEYS, 0)
         # Per-type bound-method dispatch table indexed by MessageType.value
         # (slot 0 padding).  Requests route through the busy-block check;
         # responses go straight to their handler.
@@ -180,7 +193,7 @@ class DirectorySlice:
             extra_delay=self.config.llc.tag_latency + delay)
 
     def _data_payload(self, line: LlcLine, **extra) -> dict:
-        self.stats["llc_data_accesses"] += 1
+        self.stats[SLICE_LLC_DATA_ACCESSES] += 1
         payload = {"data": bytes(line.data)}
         payload.update(extra)
         return payload
@@ -237,7 +250,7 @@ class DirectorySlice:
             return
         self.llc.lookup(block)  # touch LRU
         line = entry.payload
-        self.stats["requests"] += 1
+        self.stats[SLICE_REQUESTS] += 1
         demand = msg.mtype in (MessageType.GET, MessageType.GETX,
                                MessageType.UPGRADE)
         if (self.detector is not None and demand
@@ -285,7 +298,7 @@ class DirectorySlice:
                        delay=self.config.llc.data_latency)
         elif line.state == DirState.EM:
             if line.owner == core:
-                self.stats["regrants"] += 1
+                self.stats[SLICE_REGRANTS] += 1
                 self._send(MessageType.DATA_E, core, block,
                            self._data_payload(line),
                            delay=self.config.llc.data_latency)
@@ -309,7 +322,7 @@ class DirectorySlice:
             self._invalidate_sharers(msg, line, upgrade=False)
         elif line.state == DirState.EM:
             if line.owner == core:
-                self.stats["regrants"] += 1
+                self.stats[SLICE_REGRANTS] += 1
                 self._send(MessageType.DATA_E, core, block,
                            self._data_payload(line),
                            delay=self.config.llc.data_latency)
@@ -334,12 +347,12 @@ class DirectorySlice:
             self._do_chk(msg, line, is_write=True)
             return
         if line.state == DirState.EM and line.owner == core:
-            self.stats["regrants"] += 1
+            self.stats[SLICE_REGRANTS] += 1
             self._send(MessageType.UPG_ACK, core, block, {})
             return
         # The requestor was invalidated while its upgrade was in flight:
         # convert to a GetX (gem5 MESI does the same).
-        self.stats["upgrades_converted"] += 1
+        self.stats[SLICE_UPGRADES_CONVERTED] += 1
         converted = Message(MessageType.GETX, src=msg.src, dst=msg.dst,
                             block_addr=block, payload=dict(msg.payload))
         if line.state == DirState.I:
@@ -360,7 +373,7 @@ class DirectorySlice:
         req_md = self._req_md_for(block)
         if self.detector is not None:
             self.detector.count_invalidations(block, 1)
-        self.stats["interventions_sent"] += 1
+        self.stats[SLICE_INTERVENTIONS_SENT] += 1
         ctx = BusyCtx(kind=BusyKind.FWD, block=block, request=msg,
                       owner=line.owner, requestor=msg.src, req_md=req_md)
         self._busy[block] = ctx
@@ -374,7 +387,7 @@ class DirectorySlice:
         req_md = self._req_md_for(block)
         if self.detector is not None:
             self.detector.count_invalidations(block, len(targets))
-        self.stats["invalidations_sent"] += len(targets)
+        self.stats[SLICE_INVALIDATIONS_SENT] += len(targets)
         ctx = BusyCtx(kind=BusyKind.INV_COLLECT, block=block, request=msg,
                       waiting=set(targets), requestor=core, req_md=req_md,
                       upgrade=upgrade)
@@ -427,7 +440,9 @@ class DirectorySlice:
     def _start_prv_init(self, msg: Message, line: LlcLine) -> None:
         block = msg.block_addr
         holders = line.holders
-        self.stats["privatizations"] += 1
+        self.stats[SLICE_PRIVATIZATIONS] += 1
+        if self.obs is not None:
+            self.obs.prv_init(block, msg.src, set(holders), self.queue.now)
         ctx = BusyCtx(kind=BusyKind.PRV_INIT, block=block, request=msg,
                       waiting=set(holders), prospective=set(holders),
                       requestor=msg.src)
@@ -444,7 +459,7 @@ class DirectorySlice:
         """Ensure a SAM entry exists; terminate a displaced PRV block."""
         if self.detector is None:
             return
-        self.stats["sam_accesses"] += 1
+        self.stats[SLICE_SAM_ACCESSES] += 1
         _, evicted_block, evicted_entry = self.detector.sam.allocate(block)
         if evicted_block is not None:
             self._handle_sam_eviction(evicted_block, evicted_entry)
@@ -479,7 +494,9 @@ class DirectorySlice:
             else:
                 conflict = not sam_entry.check_read(msg.src, gmask)
         if conflict:
-            self.stats["privatization_aborts"] += 1
+            self.stats[SLICE_PRIVATIZATION_ABORTS] += 1
+            if self.obs is not None:
+                self.obs.prv_abort(block, self.queue.now)
             self.detector.record_conflict_abort(block)
             self._busy.pop(block, None)
             self._start_termination(block, TerminationCause.INIT_ABORT,
@@ -498,6 +515,9 @@ class DirectorySlice:
         line.owner = None
         line.sharers.clear()
         line.prv_sharers = set(ctx.prospective) | {msg.src}
+        if self.obs is not None:
+            self.obs.prv_established(block, set(line.prv_sharers),
+                                     self.queue.now)
         if msg.mtype == MessageType.UPGRADE:
             self._send(MessageType.UPG_ACK_PRV, msg.src, block, {})
         else:
@@ -512,7 +532,7 @@ class DirectorySlice:
         sam_entry = self.detector.sam.peek(block)
         if sam_entry is None:
             raise ProtocolError("PRV block without a SAM entry")
-        self.stats["sam_accesses"] += 1
+        self.stats[SLICE_SAM_ACCESSES] += 1
         gmask = self._gmask(msg.payload.get("touched_mask", 0))
         ok = (sam_entry.check_write(core, gmask) if is_write
               else sam_entry.check_read(core, gmask))
@@ -528,7 +548,9 @@ class DirectorySlice:
         else:
             sam_entry.record_read(core, gmask)
         line.prv_sharers.add(core)
-        self.stats["prv_joins"] += 1
+        self.stats[SLICE_PRV_JOINS] += 1
+        if self.obs is not None:
+            self.obs.prv_join(block, core, is_write, self.queue.now)
         self._send(MessageType.DATA_PRV, core, block,
                    self._data_payload(line),
                    delay=self.config.llc.data_latency
@@ -543,12 +565,12 @@ class DirectorySlice:
         sam_entry = self.detector.sam.peek(block)
         if sam_entry is None:
             raise ProtocolError("PRV block without a SAM entry")
-        self.stats["sam_accesses"] += 1
+        self.stats[SLICE_SAM_ACCESSES] += 1
         gmask = self._gmask(msg.payload.get("touched_mask", 0))
         ok = (sam_entry.check_write(core, gmask) if is_write
               else sam_entry.check_read(core, gmask))
         if ok:
-            self.stats["chk_pass"] += 1
+            self.stats[SLICE_CHK_PASS] += 1
             if is_write:
                 sam_entry.record_write(core, gmask)
                 if msg.payload.get("is_rmw"):
@@ -562,7 +584,7 @@ class DirectorySlice:
                 self._send(MessageType.ACK_PRV, core, block, {},
                            delay=self.config.protocol.conflict_check_latency)
         else:
-            self.stats["chk_fail"] += 1
+            self.stats[SLICE_CHK_FAIL] += 1
             self.detector.record_conflict_abort(block)
             self._start_termination(block, TerminationCause.CONFLICT,
                                     rerun=msg)
@@ -587,7 +609,10 @@ class DirectorySlice:
             sam_entry = self.detector.sam.peek(block)
             lw_snapshot = (sam_entry.last_writer_map() if sam_entry is not None
                            else [None] * (self.block_size // self.granularity))
-        self.stats[f"term_{cause.value}"] += 1
+        self.stats[term_key(cause.value)] += 1
+        if self.obs is not None:
+            self.obs.term_start(block, cause.value, set(sharers),
+                                lw_snapshot, self.queue.now)
         ctx = BusyCtx(kind=BusyKind.PRV_TERM, block=block, request=rerun,
                       waiting=set(sharers), lw_snapshot=lw_snapshot,
                       cause=cause, evict_data=evict_data, then=then)
@@ -613,7 +638,7 @@ class DirectorySlice:
         if ctx.evict_data is not None:
             # LLC-eviction termination: the merged block goes to memory.
             self.memory.write_block(block, bytes(ctx.evict_data))
-            self.stats["memory_writebacks"] += 1
+            self.stats[SLICE_MEMORY_WRITEBACKS] += 1
         else:
             line = self._line(block)
             line.state = DirState.I
@@ -621,6 +646,8 @@ class DirectorySlice:
             line.sharers.clear()
             line.prv_sharers.clear()
             line.dirty = True
+        if self.obs is not None:
+            self.obs.term_end(block, self.queue.now)
         then = ctx.then
         self._release_busy(block, rerun=ctx.request)
         if then is not None:
@@ -642,7 +669,7 @@ class DirectorySlice:
         block = msg.block_addr
         ctx = BusyCtx(kind=BusyKind.FETCH, block=block, request=msg)
         self._busy[block] = ctx
-        self.stats["memory_fetches"] += 1
+        self.stats[SLICE_MEMORY_FETCHES] += 1
         self.queue.schedule(self.config.memory_latency,
                             lambda: self._fetch_done(ctx))
 
@@ -707,12 +734,12 @@ class DirectorySlice:
             self.detector.drop_meta(block)
         if line.dirty:
             self.memory.write_block(block, bytes(line.data))
-            self.stats["memory_writebacks"] += 1
+            self.stats[SLICE_MEMORY_WRITEBACKS] += 1
 
     def _recall(self, block: int, line: LlcLine,
                 then: Callable[[], None]) -> None:
         """Invalidate private copies so an LLC victim can be evicted."""
-        self.stats["recalls"] += 1
+        self.stats[SLICE_RECALLS] += 1
         holders = line.holders
         ctx = BusyCtx(kind=BusyKind.RECALL, block=block, waiting=set(holders),
                       then=then)
@@ -790,7 +817,7 @@ class DirectorySlice:
         entry = self.llc.peek(block)
         if entry is None:
             # Terminating-eviction already wrote to memory; stale PUTM.
-            self.stats["stale_putm"] += 1
+            self.stats[SLICE_STALE_PUTM] += 1
             self._send(MessageType.WB_ACK, core, block, {})
             return
         line = entry.payload
@@ -814,7 +841,7 @@ class DirectorySlice:
             line.prv_sharers.discard(core)
             line.dirty = True
         else:
-            self.stats["stale_putm"] += 1
+            self.stats[SLICE_STALE_PUTM] += 1
         self._send(MessageType.WB_ACK, core, block, {})
 
     def _on_inv_ack(self, msg: Message) -> None:
@@ -900,7 +927,7 @@ class DirectorySlice:
         entry = self.llc.peek(block)
         if entry is not None and entry.payload.state == DirState.PRV:
             return  # SAM already tracks PRV accesses via CHKs
-        self.stats["sam_accesses"] += 1
+        self.stats[SLICE_SAM_ACCESSES] += 1
         conflict, evicted_block, evicted_entry = self.detector.ingest_md(
             block, core, msg.payload["read_bits"], msg.payload["write_bits"])
         if evicted_block is not None:

@@ -23,6 +23,29 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.common.addr import bytes_touched
 from repro.common.config import SystemConfig
 from repro.common.errors import ProtocolError
+from repro.common.statkeys import (
+    CORE_CHK_MISSES,
+    CORE_CHK_SENT,
+    CORE_GET_SENT,
+    CORE_GETX_SENT,
+    CORE_HITS,
+    CORE_INTERVENTIONS_RECEIVED,
+    CORE_INVALIDATIONS_RECEIVED,
+    CORE_L1_DATA_ACCESSES,
+    CORE_LOADS,
+    CORE_MISSES,
+    CORE_PAM_ACCESSES,
+    CORE_PHANTOM_SENT,
+    CORE_PRV_FILLS,
+    CORE_REISSUES,
+    CORE_REP_MD_SENT,
+    CORE_RMWS,
+    CORE_SILENT_EVICTIONS,
+    CORE_STAT_KEYS,
+    CORE_STORES,
+    CORE_UPGRADE_SENT,
+    CORE_WRITEBACKS,
+)
 from repro.common.events import EventQueue
 from repro.coherence.states import L1State, ProtocolMode
 from repro.core.pam import PamTable
@@ -113,16 +136,7 @@ class L1Controller:
         self._granularity = config.protocol.tracking_granularity
         self._pam_entries = self.pam._entries
         self._wb_entries = self.write_buffer._entries
-        self.stats: Dict[str, int] = {
-            "loads": 0, "stores": 0, "rmws": 0,
-            "hits": 0, "misses": 0, "chk_misses": 0,
-            "get_sent": 0, "getx_sent": 0, "upgrade_sent": 0,
-            "chk_sent": 0, "reissues": 0, "writebacks": 0,
-            "silent_evictions": 0, "rep_md_sent": 0, "phantom_sent": 0,
-            "prv_fills": 0, "invalidations_received": 0,
-            "interventions_received": 0, "l1_data_accesses": 0,
-            "pam_accesses": 0,
-        }
+        self.stats: Dict[str, int] = dict.fromkeys(CORE_STAT_KEYS, 0)
         # Per-type bound-method dispatch table indexed by MessageType.value
         # (slot 0 padding): one list index + call per delivered message
         # instead of rebuilding a dict or walking an if/elif chain.
@@ -165,11 +179,11 @@ class L1Controller:
         stats = self.stats
         kind = op.kind
         if kind is OpKind.LOAD:
-            stats["loads"] += 1
+            stats[CORE_LOADS] += 1
         elif kind is OpKind.STORE:
-            stats["stores"] += 1
+            stats[CORE_STORES] += 1
         elif kind is OpKind.RMW:
-            stats["rmws"] += 1
+            stats[CORE_RMWS] += 1
         else:
             raise ProtocolError(f"non-memory op reached the L1: {op.kind}")
         block = op.addr & self._base_mask
@@ -200,7 +214,7 @@ class L1Controller:
             pentry = self._pam_entries.get(block)
             if pentry is None:
                 raise ProtocolError("PRV line without a PAM entry")
-            stats["pam_accesses"] += 1
+            stats[CORE_PAM_ACCESSES] += 1
             gmask = ((1 << op.size) - 1) << (op.addr & self._offset_mask)
             if self._granularity != 1:
                 gmask = self.pam.to_granule_mask(gmask)
@@ -217,7 +231,7 @@ class L1Controller:
             return
         # Hit: the op performs (becomes globally visible) immediately; the
         # core observes completion after the data-array latency.
-        stats["hits"] += 1
+        stats[CORE_HITS] += 1
         result = self._perform(block, line, op)
         self.queue.schedule(self._data_latency, lambda: on_complete(result))
 
@@ -231,7 +245,7 @@ class L1Controller:
         size = op.size
         data = line.data
         kind = op.kind
-        self.stats["l1_data_accesses"] += 1
+        self.stats[CORE_L1_DATA_ACCESSES] += 1
         result = 0
         if kind is OpKind.LOAD:
             result = int.from_bytes(data[offset:offset + size], "little")
@@ -246,7 +260,7 @@ class L1Controller:
             result = old
         if self._detects:
             byte_mask = ((1 << size) - 1) << offset
-            self.stats["pam_accesses"] += 1
+            self.stats[CORE_PAM_ACCESSES] += 1
             if PamTable.record_access is not _PAM_RECORD_PRISTINE:
                 # The seam is patched (mutation injection): honour it.
                 if kind is OpKind.RMW:
@@ -277,20 +291,20 @@ class L1Controller:
         if line is not None and line.state == L1State.PRV:
             mtype = (MessageType.GETXCHK if op.is_write
                      else MessageType.GETCHK)
-            self.stats["chk_misses"] += 1
-            self.stats["chk_sent"] += 1
+            self.stats[CORE_CHK_MISSES] += 1
+            self.stats[CORE_CHK_SENT] += 1
         elif line is not None and line.state == L1State.S and op.is_write:
             mtype = MessageType.UPGRADE
-            self.stats["misses"] += 1
-            self.stats["upgrade_sent"] += 1
+            self.stats[CORE_MISSES] += 1
+            self.stats[CORE_UPGRADE_SENT] += 1
         elif op.is_write:
             mtype = MessageType.GETX
-            self.stats["misses"] += 1
-            self.stats["getx_sent"] += 1
+            self.stats[CORE_MISSES] += 1
+            self.stats[CORE_GETX_SENT] += 1
         else:
             mtype = MessageType.GET
-            self.stats["misses"] += 1
-            self.stats["get_sent"] += 1
+            self.stats[CORE_MISSES] += 1
+            self.stats[CORE_GET_SENT] += 1
         mshr = Mshr(block_addr=block, sent=mtype, ops=[(op, cb)])
         self._mshrs[block] = mshr
         self._send_request(mshr, op)
@@ -305,7 +319,7 @@ class L1Controller:
 
     def _reissue(self, mshr: Mshr) -> None:
         """Reissue an aborted request (Fig. 11 race) as a plain GET/GETX."""
-        self.stats["reissues"] += 1
+        self.stats[CORE_REISSUES] += 1
         op = mshr.ops[0][0]
         if mshr.sent in (MessageType.GETCHK, MessageType.GETXCHK,
                          MessageType.UPGRADE):
@@ -328,7 +342,7 @@ class L1Controller:
                 raise ProtocolError("stale PAM entry at fill")
             self.pam.allocate(block)
         if state == L1State.PRV:
-            self.stats["prv_fills"] += 1
+            self.stats[CORE_PRV_FILLS] += 1
         entry = self.cache.peek(block)
         return entry.payload
 
@@ -347,7 +361,7 @@ class L1Controller:
     def _evict(self, block: int, line: L1Line) -> None:
         """Handle a capacity eviction of ``line`` (stable state)."""
         if line.state in (L1State.M, L1State.PRV) or line.dirty:
-            self.stats["writebacks"] += 1
+            self.stats[CORE_WRITEBACKS] += 1
             self.write_buffer.insert(block, bytearray(line.data),
                                      prv=line.state == L1State.PRV)
             self.network.send(Message(
@@ -362,7 +376,7 @@ class L1Controller:
             else:
                 self.pam.invalidate(block)
         else:
-            self.stats["silent_evictions"] += 1
+            self.stats[CORE_SILENT_EVICTIONS] += 1
             self._send_md_on_eviction(block)
 
     def _send_md_on_eviction(self, block: int) -> None:
@@ -370,7 +384,7 @@ class L1Controller:
             return
         pentry = self.pam.invalidate(block)
         if pentry is not None and pentry.send_md and not pentry.empty:
-            self.stats["rep_md_sent"] += 1
+            self.stats[CORE_REP_MD_SENT] += 1
             self.pam.md_sends += 1
             self.network.send(Message(
                 MessageType.REP_MD, src=self.core_id,
@@ -492,7 +506,7 @@ class L1Controller:
         pentry = self.pam.get(block)
         dst = self.home_of(block)
         if pentry is not None:
-            self.stats["rep_md_sent"] += 1
+            self.stats[CORE_REP_MD_SENT] += 1
             self.network.send(Message(
                 MessageType.REP_MD, src=self.core_id, dst=dst,
                 block_addr=block,
@@ -501,7 +515,7 @@ class L1Controller:
                          "solicited": solicited,
                          "putm_in_flight": putm_in_flight}))
         else:
-            self.stats["phantom_sent"] += 1
+            self.stats[CORE_PHANTOM_SENT] += 1
             self.network.send(Message(
                 MessageType.PHANTOM_MD, src=self.core_id, dst=dst,
                 block_addr=block, payload={"solicited": solicited,
@@ -515,7 +529,7 @@ class L1Controller:
         self.pam.invalidate(block)
 
     def _on_inv(self, msg: Message) -> None:
-        self.stats["invalidations_received"] += 1
+        self.stats[CORE_INVALIDATIONS_RECEIVED] += 1
         req_md = bool(msg.payload.get("req_md"))
         mshr = self._mshrs.get(msg.block_addr)
         entry = self.cache.peek(msg.block_addr)
@@ -547,7 +561,7 @@ class L1Controller:
             extra_delay=self.config.l1.tag_latency)
 
     def _on_fwd_get(self, msg: Message) -> None:
-        self.stats["interventions_received"] += 1
+        self.stats[CORE_INTERVENTIONS_RECEIVED] += 1
         req_md = bool(msg.payload.get("req_md"))
         requestor = msg.payload["requestor"]
         entry = self.cache.peek(msg.block_addr)
@@ -602,7 +616,7 @@ class L1Controller:
                 self._metadata_response(msg.block_addr)
 
     def _on_fwd_getx(self, msg: Message) -> None:
-        self.stats["interventions_received"] += 1
+        self.stats[CORE_INTERVENTIONS_RECEIVED] += 1
         req_md = bool(msg.payload.get("req_md"))
         requestor = msg.payload["requestor"]
         entry = self.cache.peek(msg.block_addr)
@@ -686,7 +700,7 @@ class L1Controller:
                 mshr.aborted = True
 
     def _on_inv_prv(self, msg: Message) -> None:
-        self.stats["invalidations_received"] += 1
+        self.stats[CORE_INVALIDATIONS_RECEIVED] += 1
         entry = self.cache.peek(msg.block_addr)
         mshr = self._mshrs.get(msg.block_addr)
         delay = self.config.l1.data_latency
@@ -763,7 +777,7 @@ class L1Controller:
         return dict(self._mshrs)
 
     def miss_rate(self) -> float:
-        accesses = self.stats["loads"] + self.stats["stores"] + self.stats["rmws"]
+        accesses = self.stats[CORE_LOADS] + self.stats[CORE_STORES] + self.stats[CORE_RMWS]
         if accesses == 0:
             return 0.0
-        return (self.stats["misses"] + self.stats["chk_misses"]) / accesses
+        return (self.stats[CORE_MISSES] + self.stats[CORE_CHK_MISSES]) / accesses

@@ -123,6 +123,30 @@ class SanitizerConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Observability instruments attached around a harness run
+    (:mod:`repro.obs`).
+
+    Lives on :class:`~repro.harness.runner.RunSpec` rather than on
+    :class:`SystemConfig`: observation never changes machine behaviour, and
+    keeping it out of the machine config keeps run digests (and therefore
+    the engine cache and the golden cycle-identity table) stable.
+    """
+
+    #: Record detection/privatization episode lifecycles as spans.
+    episodes: bool = True
+    #: Sample counter/gauge time series during the run.
+    metrics: bool = True
+    #: Cycles between metric samples.
+    sample_period: int = 2000
+
+    def __post_init__(self) -> None:
+        _require(self.sample_period >= 1, "sample_period must be >= 1")
+        _require(self.episodes or self.metrics,
+                 "ObsConfig with neither episodes nor metrics is pointless")
+
+
+@dataclass(frozen=True)
 class EnergyConfig:
     """Energy-model constants (nJ per event, mW static).
 

@@ -1,0 +1,107 @@
+"""Canonical stat-dictionary key names.
+
+The per-core (:class:`~repro.coherence.l1_controller.L1Controller`) and
+per-slice (:class:`~repro.coherence.directory.DirectorySlice`) stat dicts
+are keyed by these constants — a misspelled key in a controller or a test
+is now a ``NameError``/``KeyError`` instead of a silently-zero
+``get(key, 0)``.  They live in this leaf module (imported by the coherence
+layer, which must not import :mod:`repro.system`) and are re-exported from
+:mod:`repro.system.stats`, the canonical place user code imports them
+from.
+
+The names are the historical string keys verbatim: they appear in golden
+cycle-identity digests, committed benchmark snapshots and the engine's
+persistent cache, so the constants pin them rather than rename them.
+"""
+
+from __future__ import annotations
+
+# -- per-core L1 controller keys ------------------------------------------
+
+CORE_LOADS = "loads"
+CORE_STORES = "stores"
+CORE_RMWS = "rmws"
+CORE_HITS = "hits"
+CORE_MISSES = "misses"
+CORE_CHK_MISSES = "chk_misses"
+CORE_GET_SENT = "get_sent"
+CORE_GETX_SENT = "getx_sent"
+CORE_UPGRADE_SENT = "upgrade_sent"
+CORE_CHK_SENT = "chk_sent"
+CORE_REISSUES = "reissues"
+CORE_WRITEBACKS = "writebacks"
+CORE_SILENT_EVICTIONS = "silent_evictions"
+CORE_REP_MD_SENT = "rep_md_sent"
+CORE_PHANTOM_SENT = "phantom_sent"
+CORE_PRV_FILLS = "prv_fills"
+CORE_INVALIDATIONS_RECEIVED = "invalidations_received"
+CORE_INTERVENTIONS_RECEIVED = "interventions_received"
+CORE_L1_DATA_ACCESSES = "l1_data_accesses"
+CORE_PAM_ACCESSES = "pam_accesses"
+
+#: Initialization order of ``L1Controller.stats`` (kept stable: the dict
+#: is serialized into cache entries and benchmark snapshots).
+CORE_STAT_KEYS = (
+    CORE_LOADS, CORE_STORES, CORE_RMWS,
+    CORE_HITS, CORE_MISSES, CORE_CHK_MISSES,
+    CORE_GET_SENT, CORE_GETX_SENT, CORE_UPGRADE_SENT,
+    CORE_CHK_SENT, CORE_REISSUES, CORE_WRITEBACKS,
+    CORE_SILENT_EVICTIONS, CORE_REP_MD_SENT, CORE_PHANTOM_SENT,
+    CORE_PRV_FILLS, CORE_INVALIDATIONS_RECEIVED,
+    CORE_INTERVENTIONS_RECEIVED, CORE_L1_DATA_ACCESSES,
+    CORE_PAM_ACCESSES,
+)
+
+# -- per-slice directory/LLC keys -----------------------------------------
+
+SLICE_REQUESTS = "requests"
+SLICE_INTERVENTIONS_SENT = "interventions_sent"
+SLICE_INVALIDATIONS_SENT = "invalidations_sent"
+SLICE_PRIVATIZATIONS = "privatizations"
+SLICE_PRIVATIZATION_ABORTS = "privatization_aborts"
+SLICE_PRV_JOINS = "prv_joins"
+SLICE_CHK_PASS = "chk_pass"
+SLICE_CHK_FAIL = "chk_fail"
+SLICE_UPGRADES_CONVERTED = "upgrades_converted"
+SLICE_REGRANTS = "regrants"
+SLICE_MEMORY_FETCHES = "memory_fetches"
+SLICE_MEMORY_WRITEBACKS = "memory_writebacks"
+SLICE_LLC_DATA_ACCESSES = "llc_data_accesses"
+SLICE_SAM_ACCESSES = "sam_accesses"
+SLICE_STALE_PUTM = "stale_putm"
+SLICE_RECALLS = "recalls"
+
+#: Termination-cause keys are ``term_<TerminationCause.value>``.
+TERM_CAUSES = ("conflict", "llc_eviction", "sam_eviction",
+               "external_socket", "init_abort")
+
+
+def term_key(cause: str) -> str:
+    """Per-slice stat key counting terminations of one cause."""
+    return f"term_{cause}"
+
+
+TERM_KEYS = tuple(term_key(cause) for cause in TERM_CAUSES)
+
+#: Initialization order of ``DirectorySlice.stats`` (stable; see above).
+SLICE_STAT_KEYS = (
+    SLICE_REQUESTS, SLICE_INTERVENTIONS_SENT, SLICE_INVALIDATIONS_SENT,
+    SLICE_PRIVATIZATIONS, SLICE_PRIVATIZATION_ABORTS,
+    SLICE_PRV_JOINS, SLICE_CHK_PASS, SLICE_CHK_FAIL,
+    SLICE_UPGRADES_CONVERTED, SLICE_REGRANTS,
+    SLICE_MEMORY_FETCHES, SLICE_MEMORY_WRITEBACKS,
+    SLICE_LLC_DATA_ACCESSES, SLICE_SAM_ACCESSES,
+    SLICE_STALE_PUTM, SLICE_RECALLS,
+) + TERM_KEYS
+
+# -- detector-derived per-slice keys (merged in ``Simulator._collect``) ---
+
+SLICE_SAM_ALLOCATIONS = "sam_allocations"
+SLICE_SAM_VALID_REPLACEMENTS = "sam_valid_replacements"
+SLICE_METADATA_RESETS = "metadata_resets"
+SLICE_TRUE_SHARING_DETECTIONS = "true_sharing_detections"
+
+# -- network summary keys (``NetworkStats.as_dict``) ----------------------
+
+NET_MSGS_TOTAL = "msgs_total"
+NET_BYTES_TOTAL = "bytes_total"

@@ -70,6 +70,9 @@ class FalseSharingDetector:
         #: Simulation-time accessor injected by the directory (so reports
         #: can carry cycle stamps without coupling to the event queue).
         self.now: Callable[[], int] = lambda: 0
+        #: Episode observer (repro.obs.episodes.EpisodeTracker) or None;
+        #: calls are None-guarded and fire per episode event, not per access.
+        self.obs = None
 
     # -- directory-entry counter access --------------------------------------
 
@@ -81,6 +84,8 @@ class FalseSharingDetector:
                 hysteresis_max=self.config.hysteresis_max,
             )
             self._meta[block_addr] = meta
+            if self.obs is not None:
+                self.obs.counting_started(block_addr, self.now())
         return meta
 
     def drop_meta(self, block_addr: int) -> None:
@@ -245,4 +250,7 @@ class FalseSharingDetector:
             privatized=privatized,
         )
         self.reports.append(rep)
+        if self.obs is not None:
+            self.obs.flagged(block_addr, cycle, meta.fc, meta.ic,
+                             privatized, cores)
         return rep

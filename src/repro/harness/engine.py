@@ -38,7 +38,9 @@ from repro.harness.runner import RunRecord, RunSpec, execute_spec
 #: Version stamp baked into every cache entry.  Bump on any change to the
 #: protocol engines, simulator timing or workloads so stale results are
 #: re-simulated instead of replayed.
-CODE_VERSION = "2"
+#: "3": observability layer — RunSpec grew the (conditionally serialized)
+#: ``obs`` field and records may carry an ``extra["obs"]`` payload.
+CODE_VERSION = "3"
 
 
 class EngineError(ReproError):

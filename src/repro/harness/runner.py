@@ -16,11 +16,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.coherence.states import ProtocolMode
-from repro.common.config import SystemConfig
+from repro.common.config import ObsConfig, SystemConfig
 from repro.system.builder import build_machine
 from repro.system.simulator import Simulator, flush_machine_memory
 from repro.system.stats import SimStats
@@ -50,6 +50,10 @@ class RunSpec:
     core_model: str = "inorder"
     ooo_window: int = 8
     verify: bool = True
+    #: Observability instruments to attach around the run (None = none).
+    #: Observation never changes simulated behaviour; the payload lands in
+    #: ``RunRecord.extra["obs"]``.
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         # Normalize so RunSpec(tag="ww") == RunSpec(tag="ww",
@@ -59,7 +63,7 @@ class RunSpec:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe plain-dict form (inverse of :meth:`from_dict`)."""
-        return {
+        d: Dict[str, Any] = {
             "tag": self.tag,
             "mode": self.mode.value,
             "layout": self.layout,
@@ -71,6 +75,11 @@ class RunSpec:
             "ooo_window": self.ooo_window,
             "verify": self.verify,
         }
+        # Only serialized when set, so pre-observability digests (golden
+        # cycle-identity table, cached results) stay valid verbatim.
+        if self.obs is not None:
+            d["obs"] = asdict(self.obs)
+        return d
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
@@ -85,6 +94,8 @@ class RunSpec:
             core_model=data["core_model"],
             ooo_window=data["ooo_window"],
             verify=data["verify"],
+            obs=(ObsConfig(**data["obs"]) if data.get("obs") is not None
+                 else None),
         )
 
     def digest(self) -> str:
@@ -145,6 +156,16 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         from repro.check.sanitizer import Sanitizer
 
         sanitizer = Sanitizer(machine).attach()
+    tracker = sampler = None
+    if spec.obs is not None:
+        # Same lazy-import rationale as the sanitizer above.
+        from repro.obs import EpisodeTracker, MetricsSampler
+
+        if spec.obs.episodes:
+            tracker = EpisodeTracker(machine).attach()
+        if spec.obs.metrics:
+            sampler = MetricsSampler(
+                machine, period=spec.obs.sample_period).attach()
     try:
         result = Simulator(machine).run()
         if sanitizer is not None:
@@ -152,6 +173,12 @@ def execute_spec(spec: RunSpec) -> RunRecord:
     finally:
         if sanitizer is not None:
             sanitizer.detach()
+        if tracker is not None:
+            tracker.finish(machine.queue.now)
+            tracker.detach()
+        if sampler is not None:
+            sampler.finish(machine.queue.now)
+            sampler.detach()
     if spec.verify:
         workload.verify(flush_machine_memory(machine))
     record = RunRecord(tag=spec.tag, mode=spec.mode, layout=spec.layout,
@@ -159,6 +186,20 @@ def execute_spec(spec: RunSpec) -> RunRecord:
                        core_model=spec.core_model, spec=spec)
     if sanitizer is not None:
         record.extra["sanitizer_blocks_checked"] = sanitizer.blocks_checked
+    if spec.obs is not None:
+        obs_payload: Dict[str, Any] = {
+            "meta": {
+                "num_cores": spec.config.num_cores,
+                "num_slices": len(machine.slices),
+                "cycles": result.cycles,
+                "sample_period": spec.obs.sample_period,
+            },
+        }
+        if tracker is not None:
+            obs_payload["episodes"] = tracker.to_dict()["episodes"]
+        if sampler is not None:
+            obs_payload["metrics"] = sampler.to_dict()
+        record.extra["obs"] = obs_payload
     return record
 
 
@@ -173,6 +214,7 @@ def run_workload(
     core_model: str = "inorder",
     ooo_window: int = 8,
     verify: bool = True,
+    obs: Optional[ObsConfig] = None,
 ) -> RunRecord:
     """Run one workload combination and return its record.
 
@@ -187,5 +229,5 @@ def run_workload(
     spec = RunSpec(tag=tag, mode=mode, layout=layout, config=config,
                    num_threads=num_threads, scale=scale, seed=seed,
                    core_model=core_model, ooo_window=ooo_window,
-                   verify=verify)
+                   verify=verify, obs=obs)
     return default_engine().run_one(spec)

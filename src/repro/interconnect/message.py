@@ -122,6 +122,17 @@ CLASS_BY_VALUE: tuple = (None,) + tuple(
     _CLASS_OF[mt] for mt in MessageType)
 SIZE_BY_VALUE: tuple = (0,) + tuple(_size_of(mt) for mt in MessageType)
 
+#: The FSLite-specific message vocabulary (for quick filtering).  Defined
+#: here (the leaf module of the interconnect layer) so observers in
+#: :mod:`repro.obs` and the tracer in :mod:`repro.system.tracing` can share
+#: it without import cycles.
+FSLITE_TYPES = frozenset({
+    MessageType.TR_PRV, MessageType.DATA_PRV, MessageType.UPG_ACK_PRV,
+    MessageType.GETCHK, MessageType.GETXCHK, MessageType.ACK_PRV,
+    MessageType.INV_PRV, MessageType.PRV_WB, MessageType.CTRL_WB,
+    MessageType.REP_MD, MessageType.PHANTOM_MD,
+})
+
 _msg_ids = itertools.count()
 
 

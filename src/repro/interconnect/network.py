@@ -9,9 +9,10 @@ Inv_PRV overtaking a nine-flit Data_PRV) actually happen in simulation.
 
 Hot-path layout: channel assignment, serialization delay and per-message
 accounting are all per-``MessageType`` tables indexed by enum value and
-built once, and when no observation hooks are attached :meth:`Network.send`
-schedules the destination handler directly — the post-send/post-deliver
-indirection exists only while a tracer or sanitizer is attached.
+built once, and when no observer is attached :meth:`Network.send` schedules
+the destination handler directly — the post-send/post-deliver indirection
+exists only while an observer (tracer, sanitizer, metrics sampler, episode
+tracker; see :mod:`repro.obs`) is attached.
 """
 
 from __future__ import annotations
@@ -144,11 +145,12 @@ class Network:
         self._handlers: Dict[int, Callable[[Message], None]] = {}
         self.stats = NetworkStats()
         self._last_delivery: Dict[Tuple[int, int, str], int] = {}
-        #: Observation hooks (tracers, sanitizers): ``post_send`` fires when
-        #: a message is injected, ``post_deliver`` after the destination
-        #: handler has processed it. Hooks must not send messages themselves.
-        #: While both lists are empty ``send`` takes a fast path that
-        #: schedules the destination handler with no extra indirection.
+        #: Observer callbacks (tracers, sanitizers, metrics samplers,
+        #: episode trackers — anything implementing the
+        #: :class:`repro.obs.Observer` protocol), registered through
+        #: :meth:`attach_observer`.  While both lists are empty ``send``
+        #: takes a fast path that schedules the destination handler with no
+        #: extra indirection.
         self.post_send_hooks: list = []
         self.post_deliver_hooks: list = []
         self._hooked = False
@@ -158,21 +160,33 @@ class Network:
             raise SimulationError(f"node {node_id} already registered")
         self._handlers[node_id] = handler
 
-    def add_hooks(self, post_send: Optional[Callable[[Message], None]] = None,
-                  post_deliver: Optional[Callable[[Message], None]] = None,
-                  ) -> None:
-        if post_send is not None:
-            self.post_send_hooks.append(post_send)
-        if post_deliver is not None:
-            self.post_deliver_hooks.append(post_deliver)
+    def attach_observer(self, observer: object) -> None:
+        """Register an observer (:class:`repro.obs.Observer` protocol).
+
+        The observer's ``on_send(msg)`` method — when it defines one —
+        fires whenever a message is injected, and ``on_deliver(msg)`` after
+        the destination handler has processed a delivery.  Observers must
+        not send messages themselves.  Multiple observers coexist; each
+        callback fires in attach order.  While no observer is attached,
+        :meth:`send` keeps its no-indirection fast path.
+        """
+        on_send = getattr(observer, "on_send", None)
+        on_deliver = getattr(observer, "on_deliver", None)
+        if on_send is not None:
+            self.post_send_hooks.append(on_send)
+        if on_deliver is not None:
+            self.post_deliver_hooks.append(on_deliver)
         self._hooked = bool(self.post_send_hooks or self.post_deliver_hooks)
 
-    def remove_hooks(self, post_send: Optional[Callable] = None,
-                     post_deliver: Optional[Callable] = None) -> None:
-        if post_send is not None and post_send in self.post_send_hooks:
-            self.post_send_hooks.remove(post_send)
-        if post_deliver is not None and post_deliver in self.post_deliver_hooks:
-            self.post_deliver_hooks.remove(post_deliver)
+    def detach_observer(self, observer: object) -> None:
+        """Unregister ``observer``'s callbacks (inverse of
+        :meth:`attach_observer`; a no-op for callbacks never attached)."""
+        on_send = getattr(observer, "on_send", None)
+        on_deliver = getattr(observer, "on_deliver", None)
+        if on_send is not None and on_send in self.post_send_hooks:
+            self.post_send_hooks.remove(on_send)
+        if on_deliver is not None and on_deliver in self.post_deliver_hooks:
+            self.post_deliver_hooks.remove(on_deliver)
         self._hooked = bool(self.post_send_hooks or self.post_deliver_hooks)
 
     def serialization_delay(self, msg: Message) -> int:

@@ -1,0 +1,45 @@
+"""Observability layer: one observer protocol, many instruments.
+
+Everything that watches a running machine implements the
+:class:`~repro.obs.observer.Observer` attach/detach protocol on the
+machine's network:
+
+* :class:`~repro.system.tracing.MessageTracer` — filtered message capture;
+* :class:`~repro.check.sanitizer.Sanitizer` — online invariant checking;
+* :class:`MetricsSampler` — interval time series of L1/directory/network/
+  FSDetect counters (:class:`MetricsRegistry`);
+* :class:`EpisodeTracker` — full detection/privatization episode
+  lifecycles as structured spans (:class:`Episode`).
+
+:mod:`repro.obs.perfetto` renders episodes and metrics as a Chrome-trace
+JSON timeline loadable in Perfetto.  The harness threads all of this
+through ``RunSpec(obs=ObsConfig(...))`` and the ``repro trace`` /
+``repro run --obs`` CLI verbs; with nothing attached the simulator keeps
+its zero-overhead no-observer fast path.
+"""
+
+from repro.obs.observer import Observer
+from repro.obs.metrics import Counter, MetricsRegistry, MetricsSampler
+from repro.obs.episodes import Episode, EpisodeEvent, EpisodeTracker
+from repro.obs.perfetto import (
+    chrome_trace,
+    episode_events,
+    metrics_events,
+    trace_from_record,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Observer",
+    "Counter",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "Episode",
+    "EpisodeEvent",
+    "EpisodeTracker",
+    "chrome_trace",
+    "episode_events",
+    "metrics_events",
+    "trace_from_record",
+    "write_chrome_trace",
+]

@@ -1,0 +1,203 @@
+"""Named metrics and the interval time-series sampler.
+
+A :class:`MetricsRegistry` holds named metric sources — *counters*
+(monotonic totals: message counts, misses, privatizations) and *gauges*
+(instantaneous values: live PRV blocks) — and turns them into a
+cycle-stamped time series via :meth:`MetricsRegistry.sample`.
+
+:class:`MetricsSampler` is the :class:`~repro.obs.observer.Observer` that
+drives a registry during a run: every ``period`` simulated cycles (checked
+on message delivery, so sampling never perturbs the event queue or the
+cycle-identity of the run) it snapshots every registered source.  With no
+explicit registry it self-registers the standard machine sources:
+aggregate and per-core L1 activity, directory/FSLite counters, FSDetect
+detection state, and network traffic totals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.builder import Machine
+
+from repro.obs.observer import Observer
+
+COUNTER = "counter"
+GAUGE = "gauge"
+
+
+class Counter:
+    """A registry-owned named counter, incremented by the instrumented
+    code itself (for metrics no existing stats dict tracks)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class MetricsRegistry:
+    """Named counter/gauge sources polled into a time series.
+
+    Sources are zero-argument callables returning a number; registration
+    order is sampling order.  ``series`` is a list of rows, each
+    ``{"cycle": c, <name>: <value>, ...}``.
+    """
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, Callable[[], float]] = {}
+        self._kinds: Dict[str, str] = {}
+        self.series: List[Dict[str, Any]] = []
+
+    def _register(self, name: str, source: Callable[[], float],
+                  kind: str) -> None:
+        if name in self._sources:
+            raise ValueError(f"metric {name!r} already registered")
+        self._sources[name] = source
+        self._kinds[name] = kind
+
+    def counter(self, name: str,
+                source: Optional[Callable[[], float]] = None) -> Optional[Counter]:
+        """Register a monotonic counter.  With ``source`` the value is
+        polled from it; without, a fresh :class:`Counter` is returned for
+        the caller to increment."""
+        if source is not None:
+            self._register(name, source, COUNTER)
+            return None
+        owned = Counter(name)
+        self._register(name, lambda: owned.value, COUNTER)
+        return owned
+
+    def gauge(self, name: str, source: Callable[[], float]) -> None:
+        """Register an instantaneous (non-monotonic) source."""
+        self._register(name, source, GAUGE)
+
+    def names(self) -> List[str]:
+        return list(self._sources)
+
+    def kind_of(self, name: str) -> str:
+        return self._kinds[name]
+
+    def sample(self, cycle: int) -> Dict[str, Any]:
+        """Poll every source once; append and return the row."""
+        row: Dict[str, Any] = {"cycle": cycle}
+        for name, source in self._sources.items():
+            row[name] = source()
+        self.series.append(row)
+        return row
+
+    def latest(self) -> Optional[Dict[str, Any]]:
+        return self.series[-1] if self.series else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form: source kinds plus the sampled series."""
+        return {"kinds": dict(self._kinds), "series": list(self.series)}
+
+
+class MetricsSampler(Observer):
+    """Observer that samples a registry every ``period`` cycles.
+
+    The sampling clock is piggybacked on message delivery: whenever a
+    delivery lands at or past the next due cycle, one row is taken.  A
+    machine with traffic gaps longer than ``period`` simply yields sparser
+    rows (each row is stamped with its true cycle).  Call :meth:`finish`
+    after the run for a final end-of-run row.
+    """
+
+    def __init__(self, machine: "Machine", period: int = 2000,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        super().__init__(machine)
+        if period < 1:
+            raise ValueError("sample period must be >= 1 cycle")
+        self.period = period
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._next = 0
+        if registry is None:
+            self._register_machine_sources()
+
+    # -- default sources ---------------------------------------------------
+
+    def _register_machine_sources(self) -> None:
+        from repro.coherence.states import DirState
+        from repro.common.statkeys import (
+            CORE_CHK_MISSES,
+            CORE_HITS,
+            CORE_LOADS,
+            CORE_MISSES,
+            CORE_RMWS,
+            CORE_STORES,
+            SLICE_CHK_FAIL,
+            SLICE_PRIVATIZATIONS,
+            SLICE_PRV_JOINS,
+            TERM_CAUSES,
+            term_key,
+        )
+
+        machine = self.machine
+        reg = self.registry
+        l1s, slices, net = machine.l1s, machine.slices, machine.network
+
+        def core_sum(key: str) -> Callable[[], int]:
+            return lambda: sum(l1.stats[key] for l1 in l1s)
+
+        def slice_sum(key: str) -> Callable[[], int]:
+            return lambda: sum(sl.stats[key] for sl in slices)
+
+        reg.counter("network.msgs_total", lambda: net.stats.total_messages)
+        reg.counter("network.bytes_total", lambda: net.stats.total_bytes)
+        reg.counter("l1.hits", core_sum(CORE_HITS))
+        reg.counter("l1.misses", core_sum(CORE_MISSES))
+        reg.counter("l1.chk_misses", core_sum(CORE_CHK_MISSES))
+        for l1 in l1s:
+            stats = l1.stats
+            reg.counter(
+                f"core{l1.core_id}.accesses",
+                lambda stats=stats: (stats[CORE_LOADS] + stats[CORE_STORES]
+                                     + stats[CORE_RMWS]))
+        reg.counter("dir.privatizations", slice_sum(SLICE_PRIVATIZATIONS))
+        reg.counter("dir.prv_joins", slice_sum(SLICE_PRV_JOINS))
+        reg.counter("dir.chk_fail", slice_sum(SLICE_CHK_FAIL))
+        term_keys = [term_key(cause) for cause in TERM_CAUSES]
+        reg.counter("dir.terminations", lambda: sum(
+            sl.stats[key] for sl in slices for key in term_keys))
+        detectors = [sl.detector for sl in slices if sl.detector is not None]
+        if detectors:
+            reg.counter("fsdetect.reports", lambda: sum(
+                len(d.reports) for d in detectors))
+            reg.counter("fsdetect.metadata_resets", lambda: sum(
+                d.metadata_resets for d in detectors))
+            reg.gauge("fsdetect.prv_blocks", lambda: sum(
+                1 for sl in slices for entry in sl.llc.iter_valid()
+                if entry.payload.state is DirState.PRV))
+
+    # -- observer callbacks ------------------------------------------------
+
+    def on_attach(self, machine: "Machine") -> None:
+        now = machine.queue.now
+        self.registry.sample(now)
+        self._next = now + self.period
+
+    def on_deliver(self, msg) -> None:
+        now = self.machine.queue.now
+        if now >= self._next:
+            self._next = now + self.period
+            self.registry.sample(now)
+
+    def finish(self, cycle: Optional[int] = None) -> None:
+        """Take a final row at ``cycle`` (default: the current queue time)
+        unless one was already taken there."""
+        if cycle is None:
+            cycle = self.machine.queue.now
+        latest = self.registry.latest()
+        if latest is None or latest["cycle"] < cycle:
+            self.registry.sample(cycle)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = self.registry.to_dict()
+        out["sample_period"] = self.period
+        return out

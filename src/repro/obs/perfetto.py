@@ -1,0 +1,139 @@
+"""Chrome-trace (Perfetto-loadable) export of a run's observability data.
+
+Produces the JSON object format of the Trace Event specification —
+``{"traceEvents": [...]}`` — which both ``chrome://tracing`` and
+https://ui.perfetto.dev load directly:
+
+* one *process* of "X" (complete) span events for episodes, one thread row
+  per directory slice, with the lifecycle transitions (flag, prv_init,
+  joins, termination) as "i" (instant) markers on the same rows;
+* one *process* of "C" (counter) tracks for the sampled metrics series,
+  which renders the message bursts and per-core activity as stacked area
+  charts.
+
+Timestamps are simulated cycles emitted as microseconds (1 cycle = 1 µs),
+so the viewer's time axis reads directly in cycles.
+
+The builders consume the JSON-safe payload stored in
+``RunRecord.extra["obs"]`` (episodes in :meth:`Episode.to_dict` form,
+metrics in :meth:`MetricsRegistry.to_dict` form), so traces can be
+exported from live trackers, fresh records, or engine-cache replays alike.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+#: Process ids of the exported tracks.
+EPISODE_PID = 1
+METRICS_PID = 2
+
+#: Minimum rendered span width so zero-length detection spans stay visible.
+_MIN_DUR = 1
+
+
+def _meta_event(pid: int, name: str, tid: Optional[int] = None,
+                thread_name: Optional[str] = None) -> Dict[str, Any]:
+    if tid is None:
+        return {"ph": "M", "pid": pid, "name": "process_name",
+                "args": {"name": name}}
+    return {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": thread_name}}
+
+
+def episode_events(episodes: List[Dict[str, Any]],
+                   end_cycle: Optional[int] = None) -> List[Dict[str, Any]]:
+    """Trace events for a list of serialized episodes."""
+    events: List[Dict[str, Any]] = [_meta_event(EPISODE_PID, "FS episodes")]
+    slices = sorted({e["slice_id"] for e in episodes})
+    for slice_id in slices:
+        events.append(_meta_event(EPISODE_PID, "", tid=slice_id,
+                                  thread_name=f"dir slice {slice_id}"))
+    for episode in episodes:
+        start = episode["start_cycle"]
+        end = episode["end_cycle"]
+        if end is None:
+            end = end_cycle if end_cycle is not None else start
+        cause = episode["termination_cause"]
+        name = (f"{episode['kind']} {episode['block_addr']:#x}"
+                + (f" [{cause}]" if cause else ""))
+        events.append({
+            "ph": "X", "pid": EPISODE_PID, "tid": episode["slice_id"],
+            "cat": "episode", "name": name,
+            "ts": start, "dur": max(end - start, _MIN_DUR),
+            "args": {
+                "block": f"{episode['block_addr']:#x}",
+                "kind": episode["kind"],
+                "counting_since": episode["counting_since"],
+                "flag_cycle": episode["flag_cycle"],
+                "fc_at_flag": episode["fc_at_flag"],
+                "ic_at_flag": episode["ic_at_flag"],
+                "established_cycle": episode["established_cycle"],
+                "termination_cause": cause,
+                "aborted": episode["aborted"],
+                "sharers": episode["sharers"],
+                "merge_summary": episode["merge_summary"],
+                "messages": episode["messages"],
+            },
+        })
+        for event in episode["events"]:
+            events.append({
+                "ph": "i", "pid": EPISODE_PID, "tid": episode["slice_id"],
+                "cat": "episode", "s": "t",
+                "name": f"{event['kind']} {episode['block_addr']:#x}",
+                "ts": event["cycle"],
+                "args": dict(event["detail"]),
+            })
+    return events
+
+
+def metrics_events(metrics: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Counter-track events for a sampled metrics series."""
+    events: List[Dict[str, Any]] = [_meta_event(METRICS_PID, "metrics")]
+    for row in metrics.get("series", []):
+        cycle = row["cycle"]
+        for name, value in row.items():
+            if name == "cycle":
+                continue
+            events.append({
+                "ph": "C", "pid": METRICS_PID, "cat": "metrics",
+                "name": name, "ts": cycle, "args": {name: value},
+            })
+    return events
+
+
+def chrome_trace(obs: Dict[str, Any]) -> Dict[str, Any]:
+    """Build a complete Chrome-trace object from an ``extra["obs"]``
+    payload (see :func:`repro.harness.runner.execute_spec`)."""
+    meta = obs.get("meta", {})
+    events: List[Dict[str, Any]] = []
+    if "episodes" in obs:
+        events.extend(episode_events(obs["episodes"],
+                                     end_cycle=meta.get("cycles")))
+    if "metrics" in obs:
+        events.extend(metrics_events(obs["metrics"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta),
+    }
+
+
+def trace_from_record(record) -> Dict[str, Any]:
+    """Chrome trace for a :class:`RunRecord` produced with ``spec.obs``
+    enabled.  Raises ``ValueError`` when the record carries no
+    observability payload."""
+    obs = record.extra.get("obs")
+    if obs is None:
+        raise ValueError(
+            "record has no observability data; run with RunSpec(obs=...) "
+            "or `repro trace` / `repro run --obs`")
+    return chrome_trace(obs)
+
+
+def write_chrome_trace(path, trace: Dict[str, Any]) -> None:
+    """Write a trace object as JSON (open the file in Perfetto or
+    ``chrome://tracing``)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)

@@ -63,6 +63,13 @@ class Machine:
             reports.extend(sl.reports)
         return reports
 
+    def attach_observer(self, observer):
+        """Attach an :class:`~repro.obs.observer.Observer` built for this
+        machine; returns the attached observer."""
+        if observer.machine is not self:
+            raise ValueError("observer was built for a different machine")
+        return observer.attach()
+
 
 def build_machine(config: SystemConfig, mode: ProtocolMode = ProtocolMode.MESI,
                   queue: Optional[EventQueue] = None) -> Machine:

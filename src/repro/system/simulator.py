@@ -13,6 +13,19 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.errors import SimulationError
+from repro.common.statkeys import (
+    CORE_LOADS,
+    CORE_PAM_ACCESSES,
+    CORE_RMWS,
+    CORE_STORES,
+    SLICE_LLC_DATA_ACCESSES,
+    SLICE_METADATA_RESETS,
+    SLICE_REQUESTS,
+    SLICE_SAM_ACCESSES,
+    SLICE_SAM_ALLOCATIONS,
+    SLICE_SAM_VALID_REPLACEMENTS,
+    SLICE_TRUE_SHARING_DETECTIONS,
+)
 from repro.energy.model import EnergyModel
 from repro.system.builder import Machine
 from repro.system.stats import SimStats
@@ -85,11 +98,13 @@ class Simulator:
         for sl in machine.slices:
             slice_stats = dict(sl.stats)
             if sl.detector is not None:
-                slice_stats["sam_allocations"] = sl.detector.sam.allocations
-                slice_stats["sam_valid_replacements"] = \
+                slice_stats[SLICE_SAM_ALLOCATIONS] = \
+                    sl.detector.sam.allocations
+                slice_stats[SLICE_SAM_VALID_REPLACEMENTS] = \
                     sl.detector.sam.valid_replacements
-                slice_stats["metadata_resets"] = sl.detector.metadata_resets
-                slice_stats["true_sharing_detections"] = \
+                slice_stats[SLICE_METADATA_RESETS] = \
+                    sl.detector.metadata_resets
+                slice_stats[SLICE_TRUE_SHARING_DETECTIONS] = \
                     sl.detector.true_sharing_detections
             stats.per_slice.append(slice_stats)
         stats.network = machine.network.stats.as_dict()
@@ -121,14 +136,18 @@ class Simulator:
         machine = self.machine
         model = EnergyModel(machine.config.energy,
                             metadata_enabled=machine.mode.detects)
-        l1_reads = sum(c.get("loads", 0) for c in stats.per_core)
+        l1_reads = sum(c.get(CORE_LOADS, 0) for c in stats.per_core)
         l1_writes = sum(
-            c.get("stores", 0) + c.get("rmws", 0) for c in stats.per_core)
+            c.get(CORE_STORES, 0) + c.get(CORE_RMWS, 0)
+            for c in stats.per_core)
         llc_accesses = sum(
-            s.get("llc_data_accesses", 0) for s in stats.per_slice)
-        pam_accesses = sum(c.get("pam_accesses", 0) for c in stats.per_core)
-        sam_accesses = sum(s.get("sam_accesses", 0) for s in stats.per_slice)
-        counter_accesses = sum(s.get("requests", 0) for s in stats.per_slice)
+            s.get(SLICE_LLC_DATA_ACCESSES, 0) for s in stats.per_slice)
+        pam_accesses = sum(
+            c.get(CORE_PAM_ACCESSES, 0) for c in stats.per_core)
+        sam_accesses = sum(
+            s.get(SLICE_SAM_ACCESSES, 0) for s in stats.per_slice)
+        counter_accesses = sum(
+            s.get(SLICE_REQUESTS, 0) for s in stats.per_slice)
         dram = machine.memory.reads + machine.memory.writes
         breakdown = model.compute(
             cycles=cycles,

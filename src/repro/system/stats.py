@@ -3,6 +3,11 @@
 Collects per-core L1 stats, directory/slice stats, network traffic and the
 energy breakdown into one flat record that the harness turns into the
 paper's tables and figures.
+
+The per-core/per-slice dicts are keyed by the named constants from
+:mod:`repro.common.statkeys`, re-exported here — import them from this
+module (``from repro.system.stats import CORE_LOADS, ...``) in harness
+and test code; the coherence controllers import the leaf module directly.
 """
 
 from __future__ import annotations
@@ -11,6 +16,58 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
 from repro.interconnect.message import MessageClass
+
+# Canonical stat-key constants (re-exported; see statkeys for the full
+# catalogue and the import-cycle rationale).
+from repro.common.statkeys import (  # noqa: F401 - re-exports
+    CORE_CHK_MISSES,
+    CORE_CHK_SENT,
+    CORE_GET_SENT,
+    CORE_GETX_SENT,
+    CORE_HITS,
+    CORE_INTERVENTIONS_RECEIVED,
+    CORE_INVALIDATIONS_RECEIVED,
+    CORE_L1_DATA_ACCESSES,
+    CORE_LOADS,
+    CORE_MISSES,
+    CORE_PAM_ACCESSES,
+    CORE_PHANTOM_SENT,
+    CORE_PRV_FILLS,
+    CORE_REISSUES,
+    CORE_REP_MD_SENT,
+    CORE_RMWS,
+    CORE_SILENT_EVICTIONS,
+    CORE_STAT_KEYS,
+    CORE_STORES,
+    CORE_UPGRADE_SENT,
+    CORE_WRITEBACKS,
+    NET_BYTES_TOTAL,
+    NET_MSGS_TOTAL,
+    SLICE_CHK_FAIL,
+    SLICE_CHK_PASS,
+    SLICE_INTERVENTIONS_SENT,
+    SLICE_INVALIDATIONS_SENT,
+    SLICE_LLC_DATA_ACCESSES,
+    SLICE_MEMORY_FETCHES,
+    SLICE_MEMORY_WRITEBACKS,
+    SLICE_METADATA_RESETS,
+    SLICE_PRIVATIZATION_ABORTS,
+    SLICE_PRIVATIZATIONS,
+    SLICE_PRV_JOINS,
+    SLICE_RECALLS,
+    SLICE_REGRANTS,
+    SLICE_REQUESTS,
+    SLICE_SAM_ACCESSES,
+    SLICE_SAM_ALLOCATIONS,
+    SLICE_SAM_VALID_REPLACEMENTS,
+    SLICE_STALE_PUTM,
+    SLICE_STAT_KEYS,
+    SLICE_TRUE_SHARING_DETECTIONS,
+    SLICE_UPGRADES_CONVERTED,
+    TERM_CAUSES,
+    TERM_KEYS,
+    term_key,
+)
 
 
 @dataclass
@@ -33,12 +90,12 @@ class SimStats:
 
     @property
     def accesses(self) -> int:
-        return (self._core_sum("loads") + self._core_sum("stores")
-                + self._core_sum("rmws"))
+        return (self._core_sum(CORE_LOADS) + self._core_sum(CORE_STORES)
+                + self._core_sum(CORE_RMWS))
 
     @property
     def l1_misses(self) -> int:
-        return self._core_sum("misses") + self._core_sum("chk_misses")
+        return self._core_sum(CORE_MISSES) + self._core_sum(CORE_CHK_MISSES)
 
     @property
     def l1_miss_rate(self) -> float:
@@ -48,8 +105,9 @@ class SimStats:
     @property
     def l1_requests(self) -> int:
         """Request messages originating from the L1 caches."""
-        return (self._core_sum("get_sent") + self._core_sum("getx_sent")
-                + self._core_sum("upgrade_sent") + self._core_sum("chk_sent"))
+        return (self._core_sum(CORE_GET_SENT) + self._core_sum(CORE_GETX_SENT)
+                + self._core_sum(CORE_UPGRADE_SENT)
+                + self._core_sum(CORE_CHK_SENT))
 
     @property
     def metadata_messages(self) -> int:
@@ -62,21 +120,19 @@ class SimStats:
 
     @property
     def total_messages(self) -> int:
-        return self.network.get("msgs_total", 0)
+        return self.network.get(NET_MSGS_TOTAL, 0)
 
     @property
     def total_bytes(self) -> int:
-        return self.network.get("bytes_total", 0)
+        return self.network.get(NET_BYTES_TOTAL, 0)
 
     @property
     def privatizations(self) -> int:
-        return self._slice_sum("privatizations")
+        return self._slice_sum(SLICE_PRIVATIZATIONS)
 
     @property
     def terminations(self) -> Dict[str, int]:
-        causes = ("conflict", "llc_eviction", "sam_eviction",
-                  "external_socket", "init_abort")
-        return {c: self._slice_sum(f"term_{c}") for c in causes}
+        return {c: self._slice_sum(term_key(c)) for c in TERM_CAUSES}
 
     @property
     def energy_nj(self) -> float:

@@ -4,23 +4,23 @@ Attach a :class:`MessageTracer` to a machine to capture interconnect
 traffic with filters (block, message type, time window) — the tool behind
 ``examples/protocol_anatomy.py`` and handy for debugging protocol issues
 in downstream work.
+
+The tracer is an :class:`~repro.obs.observer.Observer`: it shares the
+attach/detach lifecycle with the sanitizer, metrics sampler, and episode
+tracker, so any combination of them can watch one machine concurrently.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Set
+from typing import Callable, Iterable, List, Optional
 
+# Canonical home of FSLITE_TYPES is the message module; re-exported here
+# because this was its historical import location.
+from repro.interconnect.message import FSLITE_TYPES  # noqa: F401 - re-export
 from repro.interconnect.message import Message, MessageType
+from repro.obs.observer import Observer
 from repro.system.builder import Machine
-
-#: The FSLite-specific message vocabulary (for quick filtering).
-FSLITE_TYPES: Set[MessageType] = {
-    MessageType.TR_PRV, MessageType.DATA_PRV, MessageType.UPG_ACK_PRV,
-    MessageType.GETCHK, MessageType.GETXCHK, MessageType.ACK_PRV,
-    MessageType.INV_PRV, MessageType.PRV_WB, MessageType.CTRL_WB,
-    MessageType.REP_MD, MessageType.PHANTOM_MD,
-}
 
 
 @dataclass(frozen=True)
@@ -41,13 +41,8 @@ class TraceEntry:
                 f"blk={self.block_addr:#x}")
 
 
-class MessageTracer:
-    """Observes a machine's network sends to record matching messages.
-
-    Built on the network's ``post_send`` hook plumbing (shared with the
-    :mod:`repro.check.sanitizer` online invariant checker), so multiple
-    observers can coexist on one machine.
-    """
+class MessageTracer(Observer):
+    """Observes a machine's network sends to record matching messages."""
 
     def __init__(
         self,
@@ -57,18 +52,15 @@ class MessageTracer:
         predicate: Optional[Callable[[Message], bool]] = None,
         limit: int = 100_000,
     ) -> None:
-        self.machine = machine
+        super().__init__(machine)
         self.blocks = set(blocks) if blocks is not None else None
         self.types = set(types) if types is not None else None
         self.predicate = predicate
         self.limit = limit
         self.entries: List[TraceEntry] = []
         self.dropped = 0
-        self._attached = False
 
-    # -- lifecycle ---------------------------------------------------------
-
-    def _on_send(self, msg: Message) -> None:
+    def on_send(self, msg: Message) -> None:
         if self._matches(msg):
             if len(self.entries) < self.limit:
                 self.entries.append(TraceEntry(
@@ -78,24 +70,6 @@ class MessageTracer:
                     size_bytes=msg.size_bytes))
             else:
                 self.dropped += 1
-
-    def attach(self) -> "MessageTracer":
-        if self._attached:
-            raise RuntimeError("tracer already attached")
-        self.machine.network.add_hooks(post_send=self._on_send)
-        self._attached = True
-        return self
-
-    def detach(self) -> None:
-        if self._attached:
-            self.machine.network.remove_hooks(post_send=self._on_send)
-            self._attached = False
-
-    def __enter__(self) -> "MessageTracer":
-        return self.attach()
-
-    def __exit__(self, *exc) -> None:
-        self.detach()
 
     # -- filtering / queries ---------------------------------------------------
 

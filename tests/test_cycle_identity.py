@@ -57,6 +57,25 @@ def test_golden_identity(digest, entry):
     assert record_stats_digest(record) == entry["stats_sha256"]
 
 
+@pytest.mark.parametrize("mode", list(ProtocolMode),
+                         ids=[m.value for m in ProtocolMode])
+def test_observed_run_is_cycle_identical(mode):
+    """Attaching the observability layer must not perturb the simulation:
+    same cycles, same canonical stats digest as the unobserved golden run.
+    (Sampling piggybacks on message delivery; episode hooks only record.)"""
+    from repro.common.config import ObsConfig
+
+    entry = next(e for e in GOLDEN.values()
+                 if e["tag"] == "RC" and e["mode"] == mode.value
+                 and not e["sanitizer"])
+    spec = _spec_for(entry)
+    observed = execute_spec(RunSpec(
+        tag=spec.tag, mode=spec.mode, scale=spec.scale, config=spec.config,
+        obs=ObsConfig(sample_period=500)))
+    assert observed.cycles == entry["cycles"]
+    assert record_stats_digest(observed) == entry["stats_sha256"]
+
+
 def test_golden_covers_all_modes_and_sanitizer_states():
     """The fixture spans {RC, FA} x all modes x sanitizer {off, on}."""
     seen = {(e["tag"], e["mode"], e["sanitizer"]) for e in GOLDEN.values()}

@@ -12,6 +12,12 @@ from repro.coherence.directory import DirectorySlice
 from repro.coherence.states import DirState, ProtocolMode
 from repro.common.config import SystemConfig
 from repro.common.events import EventQueue
+from repro.common.statkeys import (
+    SLICE_PRIVATIZATIONS,
+    SLICE_REGRANTS,
+    SLICE_STALE_PUTM,
+    SLICE_UPGRADES_CONVERTED,
+)
 from repro.interconnect.message import Message, MessageType
 from repro.memsys.main_memory import MainMemory
 
@@ -127,7 +133,7 @@ class TestBaselinePaths:
         h.inject(MessageType.UPGRADE, src=1, touched_mask=0xF)
         # Converted to GetX: intervene on the owner.
         assert h.sent() == [(MessageType.FWD_GETX, 0)]
-        assert h.dir.stats["upgrades_converted"] == 1
+        assert h.dir.stats[SLICE_UPGRADES_CONVERTED] == 1
 
     def test_regrant_to_owner(self):
         h = Harness()
@@ -136,7 +142,7 @@ class TestBaselinePaths:
         # The owner re-requests (drop-and-reissue race): idempotent regrant.
         h.inject(MessageType.GETX, src=0, touched_mask=0xF)
         assert h.sent() == [(MessageType.DATA_E, 0)]
-        assert h.dir.stats["regrants"] == 1
+        assert h.dir.stats[SLICE_REGRANTS] == 1
 
     def test_putm_from_owner(self):
         h = Harness()
@@ -154,7 +160,7 @@ class TestBaselinePaths:
         h.clear()
         h.inject(MessageType.PUTM, src=3, data=bytes(64))
         assert h.sent() == [(MessageType.WB_ACK, 3)]
-        assert h.dir.stats["stale_putm"] == 1
+        assert h.dir.stats[SLICE_STALE_PUTM] == 1
         assert bytes(h.line().data) == DATA  # untouched
 
     def test_queued_request_drains_after_busy(self):
@@ -213,7 +219,7 @@ class TestDetectionPaths:
                 h.inject(MessageType.REP_MD, src=m.dst, read_bits=0,
                          write_bits=0xF0 if m.dst == 1 else 0x0F,
                          solicited=True)
-        assert h.dir.stats["privatizations"] >= 1
+        assert h.dir.stats[SLICE_PRIVATIZATIONS] >= 1
 
 
 class TestExternalSocket:

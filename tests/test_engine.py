@@ -9,6 +9,7 @@ across processes, and a full-figure 100% cache-hit replay.
 
 import json
 import os
+import shutil
 import subprocess
 import sys
 
@@ -314,29 +315,51 @@ class TestCliEngineFlags:
 
 
 class TestCacheCompatibility:
-    """The kernel overhaul must not orphan pre-existing cached results."""
+    """The observability release bumps CODE_VERSION deliberately: cached
+    entries predating it are invalidated (re-simulated), but the *results*
+    they held are still reproduced bit-for-bit by the new code."""
 
     FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "data",
                                "engine_cache")
     FIXTURE_SPEC = RunSpec(tag="ww", mode=ProtocolMode.FSLITE, scale=0.5)
 
-    def test_code_version_unchanged(self):
-        # The optimisations are behaviour-preserving, so cached records from
-        # before them are still valid; bumping the stamp would throw every
-        # user's cache away for nothing.
-        assert CODE_VERSION == "2"
+    def test_code_version_bumped_for_obs(self):
+        # RunSpec grew the (conditionally serialized) obs field and records
+        # may carry extra["obs"]; the stamp marks the cache-format epoch.
+        assert CODE_VERSION == "3"
 
-    def test_prechange_cache_record_replays_digest_equal(self):
-        from repro.harness.export import record_stats_digest
-
+    def test_spec_digest_unchanged_without_obs(self):
+        # The obs field is only serialized when set, so every pre-existing
+        # spec digest — cache filenames, the golden cycle-identity table —
+        # is still addressed identically.
         fixture = os.path.join(self.FIXTURE_DIR,
                                self.FIXTURE_SPEC.digest() + ".json")
         assert os.path.exists(fixture), \
             "cache fixture missing: spec digest drifted"
-        engine = Engine(cache_dir=self.FIXTURE_DIR)
-        cached = engine.run_one(self.FIXTURE_SPEC)
-        assert engine.stats["cache_hits"] == 1, \
-            "fixture written before the overhaul was not accepted as a hit"
+
+    def test_prechange_cache_entry_is_stale_and_rewritten(self, tmp_path):
+        fixture = os.path.join(self.FIXTURE_DIR,
+                               self.FIXTURE_SPEC.digest() + ".json")
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        shutil.copy(fixture, cache)
+        engine = Engine(cache_dir=cache)
+        engine.run_one(self.FIXTURE_SPEC)
+        assert engine.stats["cache_hits"] == 0, \
+            "a version-2 entry must not replay under version 3"
+        assert engine.stats["executed"] == 1
+        with open(cache / (self.FIXTURE_SPEC.digest() + ".json")) as fh:
+            assert json.load(fh)["code_version"] == CODE_VERSION
+
+    def test_prechange_record_matches_fresh_run(self):
+        # Behaviour preservation: the version-2 fixture's stats are exactly
+        # what the observability-era code computes for the same spec.
+        from repro.harness.export import record_from_dict, record_stats_digest
+
+        fixture = os.path.join(self.FIXTURE_DIR,
+                               self.FIXTURE_SPEC.digest() + ".json")
+        with open(fixture) as fh:
+            cached = record_from_dict(json.load(fh)["record"])
         fresh = execute_spec(self.FIXTURE_SPEC)
         assert cached.cycles == fresh.cycles
         assert record_stats_digest(cached) == record_stats_digest(fresh)

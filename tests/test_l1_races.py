@@ -13,6 +13,7 @@ from repro.coherence.l1_controller import L1Controller
 from repro.coherence.states import L1State, ProtocolMode
 from repro.common.config import SystemConfig
 from repro.common.events import EventQueue
+from repro.common.statkeys import CORE_REISSUES
 from repro.cpu.ops import load, store
 from repro.interconnect.message import Message, MessageType
 
@@ -82,7 +83,7 @@ class TestFig11GetxVsInvPrv:
         # The stale Data_PRV arrives: dropped, request reissued.
         h.inject(MessageType.DATA_PRV, BLOCK, data=DATA)
         assert h.sent_types() == [MessageType.GETX]
-        assert h.l1.stats["reissues"] == 1
+        assert h.l1.stats[CORE_REISSUES] == 1
         assert h.completions == []  # still outstanding
         h.clear()
         # The reissued request is answered normally.

@@ -3,6 +3,12 @@
 import pytest
 
 from repro.coherence.states import DirState, L1State, ProtocolMode
+from repro.common.statkeys import (
+    CORE_MISSES,
+    CORE_UPGRADE_SENT,
+    CORE_WRITEBACKS,
+    SLICE_RECALLS,
+)
 from repro.cpu.ops import compute, fetch_add, load, store
 
 from _helpers import memory_image, read_u, run_programs, small_config
@@ -37,7 +43,7 @@ class TestSingleCore:
         assert entry.payload.state == L1State.M
         assert entry.payload.dirty
         # No extra coherence request for the silent upgrade.
-        assert machine.l1s[0].stats["misses"] == 1
+        assert machine.l1s[0].stats[CORE_MISSES] == 1
 
     def test_store_then_load_returns_value(self):
         def prog():
@@ -68,7 +74,7 @@ class TestSingleCore:
                 v = yield load(a)
                 assert v == 0xAB
         result, machine = run_programs([prog()], config=cfg)
-        assert machine.l1s[0].stats["writebacks"] >= 1
+        assert machine.l1s[0].stats[CORE_WRITEBACKS] >= 1
         img = memory_image(machine)
         for a in addrs:
             assert read_u(img, a) == 0xAB
@@ -135,7 +141,7 @@ class TestTwoCoreSharing:
         def reader():
             yield load(0x1000)
         result, machine = run_programs([reader_then_writer(), reader()])
-        assert machine.l1s[0].stats["upgrade_sent"] >= 1
+        assert machine.l1s[0].stats[CORE_UPGRADE_SENT] >= 1
 
     def test_atomic_increments_are_atomic(self):
         n = 100
@@ -167,7 +173,7 @@ class TestInclusionAndRecall:
                 v = yield load(0x10000 + i * 64)
                 assert v == i + 1
         result, machine = run_programs([prog()], config=cfg)
-        assert machine.slices[0].stats["recalls"] >= 1
+        assert machine.slices[0].stats[SLICE_RECALLS] >= 1
         img = memory_image(machine)
         for i in range(blocks):
             assert read_u(img, 0x10000 + i * 64) == i + 1
