@@ -20,6 +20,10 @@ The surface groups into:
 * **harness level** — ``RunSpec``→``Engine``→``RunRecord`` (cached,
   deduped, parallel) plus the ``run_workload`` shim and the paper's
   baseline helpers;
+* **robustness** — ``FaultPlan``/``FaultInjector`` for deterministic
+  fault injection on hand-built machines and ``DegradationReport`` for
+  quantifying graceful degradation against a fault-free twin (campaign
+  driver: ``repro.faults.chaos`` / ``python -m repro.cli chaos``);
 * **observability** — ``ObsConfig`` on a spec, ``Observer`` instruments
   (``MessageTracer``, ``MetricsSampler``, ``EpisodeTracker``,
   ``Sanitizer``) for hand-built machines, and the Chrome-trace/Perfetto
@@ -72,6 +76,17 @@ from repro.harness.runner import (
     RunSpec,
     execute_spec,
     run_workload,
+)
+
+# -- robustness ------------------------------------------------------------
+
+from repro.faults import (
+    DegradationReport,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FiredFault,
+    family_plan,
 )
 
 # -- observability ---------------------------------------------------------
@@ -133,6 +148,13 @@ __all__ = [
     "RunSpec",
     "execute_spec",
     "run_workload",
+    # robustness
+    "DegradationReport",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FiredFault",
+    "family_plan",
     # observability
     "InvariantViolation",
     "Sanitizer",

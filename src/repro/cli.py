@@ -12,6 +12,12 @@
 * ``fuzz`` — random protocol testing: drive randomized load/store/RMW/
   evict schedules through the protocols with the online sanitizer
   attached, and shrink any failure to a minimal pytest repro.
+* ``chaos`` — fault-injection campaigns: run fuzz schedules while a
+  deterministic :mod:`repro.faults` injector drops/duplicates/delays
+  metadata messages, corrupts PAM/SAM/counter state and forces evictions;
+  every faulted run must stay sanitizer-clean and is compared against its
+  fault-free twin (graceful degradation); failures shrink to scripted
+  fault plans rendered as pytest repros.
 * ``profile`` — run one workload under cProfile and print the hottest
   functions (the profiling companion to ``benchmarks/bench_kernel.py``).
 * ``trace <tag|experiment>`` — run one workload with the observability
@@ -35,6 +41,7 @@ from typing import List, Optional
 
 from repro.check.fuzz import FAMILIES, fuzz_campaign
 from repro.check.mutations import MUTATIONS
+from repro.faults.plan import CHAOS_FAMILIES
 from repro.coherence.states import ProtocolMode
 from repro.common.config import ObsConfig, SystemConfig
 from repro.common.errors import ReproError
@@ -156,6 +163,50 @@ def _parser() -> argparse.ArgumentParser:
                         help="write generated pytest repros to PATH")
     fuzz_p.add_argument("--quiet", action="store_true",
                         help="suppress per-schedule progress output")
+
+    chaos_p = sub.add_parser(
+        "chaos", help="fault-injection campaigns with graceful-degradation "
+                      "checking")
+    chaos_p.add_argument("--iterations", type=int, default=18, metavar="N",
+                         help="number of (schedule, fault plan) cases "
+                              "(default 18)")
+    chaos_p.add_argument("--seed", type=int, default=0,
+                         help="campaign seed; same seed, same campaign")
+    chaos_p.add_argument("--protocol", default="all",
+                         choices=["all"] + [m.value for m in ProtocolMode],
+                         help="protocol mode(s) to stress (default all)")
+    chaos_p.add_argument("--fault-family", default="all",
+                         choices=["all"] + list(CHAOS_FAMILIES),
+                         help="fault family: message, metadata or pressure "
+                              "(default all, rotating)")
+    chaos_p.add_argument("--intensity", type=float, default=1.0,
+                         help="scale factor on every fault rate "
+                              "(default 1.0)")
+    chaos_p.add_argument("--threads", type=int, default=4)
+    chaos_p.add_argument("--lines", type=int, default=3,
+                         help="distinct cache lines per schedule "
+                              "(default 3)")
+    chaos_p.add_argument("--length", type=int, default=80,
+                         help="ops per schedule (default 80)")
+    chaos_p.add_argument("--mutate", metavar="NAME", default=None,
+                         choices=sorted(MUTATIONS),
+                         help="additionally inject a known protocol "
+                              "mutation (the campaign should then fail)")
+    chaos_p.add_argument("--no-shrink", action="store_true",
+                         help="report raw fired-fault scripts without "
+                              "delta-debugging them")
+    chaos_p.add_argument("--shrink-budget", type=int, default=250,
+                         metavar="N",
+                         help="max re-executions the shrinker may spend "
+                              "(default 250)")
+    chaos_p.add_argument("--smoke", action="store_true",
+                         help="small fixed CI campaign (one 40-op case per "
+                              "mode x fault-family pair; also requires "
+                              "every family to show degradation)")
+    chaos_p.add_argument("--out", metavar="PATH",
+                         help="write generated pytest repros to PATH")
+    chaos_p.add_argument("--quiet", action="store_true",
+                         help="suppress per-case progress output")
 
     prof_p = sub.add_parser("profile", help="profile one workload run "
                                             "under cProfile")
@@ -369,6 +420,86 @@ def _cmd_fuzz(args) -> int:
     return 1
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults.chaos import chaos_campaign
+
+    modes = (list(ProtocolMode) if args.protocol == "all"
+             else [ProtocolMode(args.protocol)])
+    fault_families = (list(CHAOS_FAMILIES) if args.fault_family == "all"
+                      else [args.fault_family])
+    iterations, length = args.iterations, args.length
+    if args.smoke:
+        # One case per (mode, fault family) pair: small, fixed,
+        # deterministic — the CI gate.
+        modes, fault_families = list(ProtocolMode), list(CHAOS_FAMILIES)
+        iterations, length = len(modes) * len(fault_families), 40
+
+    def progress(i, fault_family, mode, report):
+        if report.ok:
+            fired = sum(report.fired_by_kind().values())
+            status = f"ok ({fired} fault(s) fired)"
+        else:
+            status = report.failure.describe()
+        print(f"[{i + 1}/{iterations}] {mode.value:9s} {fault_family:9s} "
+              f"{status}", file=sys.stderr)
+
+    result = chaos_campaign(
+        iterations=iterations,
+        seed=args.seed,
+        modes=modes,
+        fault_families=fault_families,
+        num_threads=args.threads,
+        num_lines=args.lines,
+        length=length,
+        intensity=args.intensity,
+        mutation=args.mutate,
+        shrink=not args.no_shrink,
+        shrink_budget=args.shrink_budget,
+        progress=None if args.quiet else progress,
+    )
+    fired = result.family_fired()
+    degraded = result.family_degraded()
+    for family in sorted(fired):
+        note = ("degradation measured" if degraded[family]
+                else "no degradation observed")
+        print(f"chaos: {family:9s} {fired[family]:4d} fault(s) fired, "
+              f"{note}")
+    if result.ok:
+        print(f"chaos: {result.iterations} case(s), every faulted run "
+              f"sanitizer-clean and terminating (seed {args.seed})")
+        # The smoke gate additionally demands that injection is non-vacuous:
+        # each exercised family must have measurably perturbed some run.
+        if args.smoke and not all(degraded[f] for f in fault_families):
+            missing = [f for f in fault_families if not degraded[f]]
+            print(f"chaos: error: fault family(ies) with no measured "
+                  f"degradation: {', '.join(missing)}", file=sys.stderr)
+            return 1
+        return 0
+    print(f"chaos: {len(result.findings)} failing case(s) out of "
+          f"{result.iterations} (seed {args.seed})")
+    sources = []
+    for f in result.findings:
+        print(f"\ncase seed {f.case_seed}: {f.mode.value}/"
+              f"{f.fault_family} on a {f.schedule_family} schedule")
+        print(f"  {f.failure.describe()}")
+        if f.plan is None:
+            print("  fault-free twin failed: plain protocol bug "
+                  "(see fuzz repro)")
+        else:
+            print(f"  {len(f.fired)} fault(s) fired, script shrunk to "
+                  f"{len(f.shrunk_events)} event(s)")
+        sources.append(f.repro_source)
+    repros = "\n\n".join(sources)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(repros + "\n")
+        print(f"\npytest repro(s) written to {args.out}")
+    else:
+        print("\n# --- minimal pytest repro(s) ---\n")
+        print(repros)
+    return 1
+
+
 def _cmd_profile(args) -> int:
     config = SystemConfig().with_sanitizer() if args.sanitize else None
     spec = RunSpec(tag=args.tag, mode=ProtocolMode(args.protocol),
@@ -469,6 +600,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "detect": _cmd_detect,
         "experiment": _cmd_experiment,
         "fuzz": _cmd_fuzz,
+        "chaos": _cmd_chaos,
         "profile": _cmd_profile,
         "trace": _cmd_trace,
         "list": _cmd_list,

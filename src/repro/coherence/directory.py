@@ -1006,6 +1006,91 @@ class DirectorySlice:
         """Live busy contexts by block (read-only view for checkers)."""
         return dict(self._busy)
 
+    # ----------------------------------- fault-injection seams (repro.faults)
+    #
+    # Each seam models a hardware glitch the paper argues is survivable
+    # because detection metadata is advisory.  Seams return False (and do
+    # nothing) when the glitch would not be protocol-legal at this instant —
+    # losing state mid-transaction is indistinguishable from losing it one
+    # cycle earlier or later, so refusing blocked blocks loses no coverage.
+    # No seam is reachable unless a FaultInjector calls it explicitly.
+
+    def fault_sam_loss(self, block: int) -> bool:
+        """Drop the SAM entry for ``block`` as if a row glitched away.
+
+        For a privatized block this must route through the graceful
+        SAM-eviction termination (Section V-C) — exactly what real eviction
+        pressure does — because PRV state without SAM claims cannot answer
+        conflict checks.  For any other block the entry simply vanishes.
+        """
+        if self.detector is None or self._is_blocked(block):
+            return False
+        if self.detector.sam.peek(block) is None:
+            return False
+        entry = self.llc.peek(block)
+        if entry is not None and entry.payload.state == DirState.PRV:
+            self._start_termination(block, TerminationCause.SAM_EVICTION)
+        else:
+            self.detector.sam.invalidate(block)
+        return True
+
+    def fault_counter_glitch(self, block: int, glitch: str) -> bool:
+        """Corrupt the FC/IC/HC/PMMC state of ``block``'s directory entry.
+
+        ``glitch``: ``"reset"`` zeroes FC/IC/HC, ``"saturate"`` pins FC/IC
+        at ``counter_max`` and HC at ``hysteresis_max`` (both are values the
+        counters can legally hold), ``"pmmc"`` forgets all pending metadata
+        responses (``md_arrived`` is tolerant of unexpected cores, so later
+        replies are absorbed).  Returns True only if state actually changed.
+        """
+        if self.detector is None:
+            return False
+        meta = self.detector._meta.get(block)
+        if meta is None:
+            return False
+        if glitch == "reset":
+            changed = bool(meta.fc or meta.ic or meta.hc)
+            meta.fc = meta.ic = meta.hc = 0
+        elif glitch == "saturate":
+            changed = (meta.fc != meta.counter_max
+                       or meta.ic != meta.counter_max
+                       or meta.hc != meta.hysteresis_max)
+            meta.fc = meta.ic = meta.counter_max
+            meta.hc = meta.hysteresis_max
+        elif glitch == "pmmc":
+            changed = bool(meta.pending_md)
+            meta.pending_md.clear()
+        else:
+            raise ValueError(f"unknown counter glitch {glitch!r}")
+        return changed
+
+    def fault_llc_eviction(self, block: int) -> bool:
+        """Force ``block`` out of the LLC through the normal victim paths
+        (plain eviction, recall, or PRV termination-with-merge), as if
+        capacity pressure had chosen it.  Refuses busy blocks."""
+        entry = self.llc.peek(block)
+        if entry is None or self._is_blocked(block):
+            return False
+        line = entry.payload
+        if line.state == DirState.I:
+            self._evict_llc_block(block, line)
+        elif line.state == DirState.PRV:
+            evict_data = bytearray(line.data)
+            sam_entry = (self.detector.sam.peek(block)
+                         if self.detector else None)
+            snapshot = (sam_entry.last_writer_map() if sam_entry is not None
+                        else None)
+            self.llc.invalidate(block)
+            if self.detector is not None:
+                self.detector.drop_meta(block)
+            self._start_termination(
+                block, TerminationCause.LLC_EVICTION,
+                prv_set=line.prv_sharers, lw_snapshot=snapshot,
+                evict_data=evict_data)
+        else:
+            self._recall(block, line, then=None)
+        return True
+
     @property
     def reports(self):
         return self.detector.reports if self.detector is not None else []

@@ -747,6 +747,14 @@ class L1Controller:
                 extra_delay=delay)
             self._invalidate_line(msg.block_addr,
                                   send_md=bool(msg.payload.get("req_md")))
+        elif msg.block_addr in self.write_buffer:
+            # Our eviction PUTM is still on the wire (wb channel); the
+            # directory counts it as this recall's response and merges its
+            # data (see ``_on_putm``'s RECALL arm), so stay silent.  An
+            # ACK_NO_DATA here would ride the response channel, overtake
+            # the PUTM, and finish the recall with the stale LLC copy
+            # while the fresh bytes are still in flight.
+            pass
         else:
             if entry is not None:
                 self._invalidate_line(msg.block_addr,
@@ -775,6 +783,32 @@ class L1Controller:
     def transactions(self) -> Dict[int, Mshr]:
         """Outstanding MSHRs by block (read-only view for checkers)."""
         return dict(self._mshrs)
+
+    # -------------------------------- fault-injection seams (repro.faults)
+
+    def resident_blocks(self) -> List[int]:
+        """Sorted resident L1 block addresses (deterministic targeting)."""
+        return sorted(self.cache.addr_of(e) for e in self.cache.iter_valid())
+
+    def fault_evict(self, block: int) -> bool:
+        """Force a capacity-style eviction of ``block`` through the normal
+        :meth:`_evict` path (writeback + unsolicited metadata, exactly as a
+        victim selection would produce).
+
+        Refuses blocks with an in-flight transaction or a buffered
+        writeback — real victim selection protects those ways too
+        (:meth:`_protected_ways`), so a forced eviction stays
+        indistinguishable from a natural one.
+        """
+        if block in self._mshrs or block in self.write_buffer:
+            return False
+        entry = self.cache.peek(block)
+        if entry is None:
+            return False
+        line = entry.payload
+        self.cache.invalidate(block)
+        self._evict(block, line)
+        return True
 
     def miss_rate(self) -> float:
         accesses = self.stats[CORE_LOADS] + self.stats[CORE_STORES] + self.stats[CORE_RMWS]

@@ -85,6 +85,9 @@ class ProtocolConfig:
         _require(self.tau_r2 >= self.tau_r1, "tau_r2 must be >= tau_r1")
         _require(self.counter_max >= self.tau_p,
                  "counter_max must be >= tau_p or privatization never triggers")
+        _require(self.tau_r2 <= self.counter_max,
+                 "tau_r2 must be <= counter_max or the R2 report threshold "
+                 "is unreachable (counters saturate-reset first)")
         _require(self.tracking_granularity in (1, 2, 4),
                  "tracking_granularity must be 1, 2 or 4")
         _require(self.sam_sets >= 1 and self.sam_ways >= 1,

@@ -150,3 +150,25 @@ class PamTable:
     def entry_bits(self) -> int:
         """Storage cost of one entry in bits (2 bits/granule + SEND_MD)."""
         return 2 * self.num_granules + 1
+
+    # -- fault-injection seams (:mod:`repro.faults`) -------------------------
+
+    def resident_blocks(self) -> list:
+        """Sorted resident block addresses (deterministic fault targeting)."""
+        return sorted(self._entries)
+
+    def fault_clear(self, block_addr: int) -> bool:
+        """Zero a resident entry's R/W bits; return True if bits were lost.
+
+        Clearing is the only legal corruption: PAM bits are advisory (lost
+        bits cost extra CHK/metadata traffic, never stale data), while
+        *removing* the entry would break the resident-block <-> PAM-entry
+        pairing the L1 controller relies on.  SEND_MD is kept so eviction
+        behaviour stays a pure function of directory requests.
+        """
+        entry = self._entries.get(block_addr)
+        if entry is None or entry.empty:
+            return False
+        entry.read_bits = 0
+        entry.write_bits = 0
+        return True

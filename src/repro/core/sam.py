@@ -274,6 +274,11 @@ class SamTable:
     def invalidate(self, block_addr: int) -> Optional[SamEntry]:
         return self._array.invalidate(block_addr)
 
+    def resident_blocks(self) -> List[int]:
+        """Sorted resident block addresses (used by :mod:`repro.faults` for
+        deterministic fault targeting)."""
+        return sorted(self._array.addr_of(e) for e in self._array.iter_valid())
+
     def __contains__(self, block_addr: int) -> bool:
         return block_addr in self._array
 

@@ -1,0 +1,48 @@
+"""Deterministic fault injection and graceful-degradation measurement.
+
+The paper's robustness argument (Sections IV-V) is that FSDetect/FSLite
+metadata is *advisory*: PAM/SAM entries can be lost, metadata messages can
+be dropped or duplicated, counters can glitch, and privatized episodes can
+be force-terminated — and the only acceptable cost is detection accuracy,
+never coherence correctness.  This package turns that claim into a
+continuously-enforced property:
+
+* :class:`FaultPlan` — a seeded, serializable, digest-stable description
+  of which faults to inject and how often (see :data:`CHAOS_FAMILIES`).
+* :class:`FaultInjector` — an :class:`repro.obs.Observer` that injects the
+  plan through narrow seams in the network, directory, L1, PAM and SAM.
+  Fully deterministic: re-running a plan fires the identical faults, and a
+  recorded run replays exactly from its fired-fault script.
+* :class:`DegradationReport` — quantifies what a faulted run lost
+  (detections, privatizations, early terminations, cycles, traffic)
+  against its fault-free twin.
+
+The chaos campaign driver (sanitizer as oracle, ddmin shrinking, pytest
+repro rendering) lives in :mod:`repro.faults.chaos` and is imported lazily
+there so plain fault-injection users do not pay for the check package.
+"""
+
+from repro.faults.degradation import DegradationReport
+from repro.faults.injector import FaultInjector, FiredFault
+from repro.faults.plan import (
+    ALL_KINDS,
+    CHAOS_FAMILIES,
+    MESSAGE_KINDS,
+    STATE_KINDS,
+    FaultEvent,
+    FaultPlan,
+    family_plan,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "CHAOS_FAMILIES",
+    "MESSAGE_KINDS",
+    "STATE_KINDS",
+    "DegradationReport",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FiredFault",
+    "family_plan",
+]

@@ -1,0 +1,352 @@
+"""Chaos campaign: fault injection with the sanitizer as oracle.
+
+Each campaign case pairs a random fuzz schedule (families from
+:mod:`repro.check.fuzz`) with a :func:`~repro.faults.plan.family_plan`
+preset and runs it twice on the stress-prone fuzz machine: once fault-free
+(the *twin*) and once with a :class:`~repro.faults.injector.FaultInjector`
+attached.  Three oracles judge the faulted run exactly as the fuzzer
+judges schedules:
+
+1. the run itself (invariant violations, protocol errors, deadlocks,
+   in-program load assertions),
+2. the sanitizer's final full pass, and
+3. the flushed memory image against the schedule's reference values
+   (faults may never corrupt data — only detection accuracy).
+
+A surviving case yields a :class:`~repro.faults.degradation.
+DegradationReport` against its twin; a failing case has its fired-fault
+list converted to a scripted plan, ddmin-shrunk with the fuzzer's
+:func:`~repro.check.fuzz.shrink_schedule` (fault events are just another
+shrinkable list), and rendered as a ready-to-paste pytest repro.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.check.fuzz import (
+    FAMILIES,
+    FuzzFailure,
+    FuzzOp,
+    _build_programs,
+    fuzz_config,
+    make_schedule,
+    render_schedule,
+    shrink_schedule,
+)
+from repro.check.mutations import mutation_context
+from repro.check.sanitizer import InvariantViolation, Sanitizer
+from repro.coherence.states import ProtocolMode
+from repro.common.config import SystemConfig
+from repro.common.errors import ReproError
+from repro.faults.degradation import DegradationReport
+from repro.faults.injector import FaultInjector, FiredFault
+from repro.faults.plan import CHAOS_FAMILIES, FaultEvent, FaultPlan, family_plan
+from repro.system.builder import build_machine
+from repro.system.simulator import Simulator, flush_machine_memory
+from repro.system.stats import SimStats
+
+
+def chaos_config(num_threads: int = 4,
+                 shrunken_sam: bool = False) -> SystemConfig:
+    """The fuzzer's stress machine, optionally with a 2-entry SAM so
+    resource-pressure campaigns exercise SAM displacement constantly."""
+    config = fuzz_config(num_threads)
+    if shrunken_sam:
+        config = config.with_protocol(sam_sets=1, sam_ways=2)
+    return config
+
+
+@dataclass
+class ChaosRunReport:
+    """Outcome of one (schedule, plan) execution."""
+
+    ok: bool
+    failure: Optional[FuzzFailure] = None
+    cycles: int = 0
+    stats: Optional[SimStats] = None
+    fired: List[FiredFault] = field(default_factory=list)
+
+    def fired_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for fault in self.fired:
+            out[fault.kind] = out.get(fault.kind, 0) + 1
+        return out
+
+
+def run_chaos_case(
+    schedule: List[FuzzOp],
+    mode: ProtocolMode = ProtocolMode.FSLITE,
+    plan: Optional[FaultPlan] = None,
+    num_threads: int = 4,
+    config: Optional[SystemConfig] = None,
+    shrunken_sam: bool = False,
+    sanitize: bool = True,
+    mutation: Optional[str] = None,
+    max_events: int = 5_000_000,
+) -> ChaosRunReport:
+    """Execute one schedule under ``plan`` (None = fault-free twin);
+    never raises for protocol failures."""
+    config = config or chaos_config(num_threads, shrunken_sam=shrunken_sam)
+    with mutation_context(mutation):
+        machine = build_machine(config, mode)
+        programs, expectations = _build_programs(
+            schedule, num_threads, config)
+        machine.attach_programs(programs)
+        injector = FaultInjector(machine, plan) if plan is not None else None
+        sanitizer = Sanitizer(machine) if sanitize else None
+        fired: List[FiredFault] = []
+        try:
+            # Injector first: its state faults land before the sanitizer's
+            # per-delivery checks of the same message, so corruption is
+            # judged at the earliest possible instant.
+            if injector is not None:
+                injector.attach()
+            if sanitizer is not None:
+                sanitizer.attach()
+            try:
+                result = Simulator(machine, max_events=max_events).run()
+                if sanitizer is not None:
+                    sanitizer.check_all()
+            except InvariantViolation as exc:
+                return ChaosRunReport(False, FuzzFailure(
+                    "invariant", type(exc).__name__, str(exc)),
+                    fired=list(injector.fired) if injector else [])
+            except (ReproError, AssertionError) as exc:
+                return ChaosRunReport(False, FuzzFailure(
+                    "run", type(exc).__name__, str(exc)),
+                    fired=list(injector.fired) if injector else [])
+        finally:
+            if sanitizer is not None:
+                sanitizer.detach()
+            if injector is not None:
+                fired = list(injector.fired)
+                injector.detach()
+        image = flush_machine_memory(machine)
+        for addr, want, label in expectations:
+            base = addr & ~(config.block_size - 1)
+            data = image.get(base, bytes(config.block_size))
+            off = addr - base
+            got = int.from_bytes(data[off:off + 8], "little")
+            if got != want:
+                return ChaosRunReport(False, FuzzFailure(
+                    "final-image", "mismatch",
+                    f"{label}: final value {got:#x}, expected {want:#x}"),
+                    fired=fired)
+        return ChaosRunReport(True, cycles=result.cycles,
+                              stats=result.stats, fired=fired)
+
+
+# -------------------------------------------------------------- campaign
+
+
+@dataclass
+class ChaosCase:
+    """One surviving campaign case and its degradation measurement."""
+
+    index: int
+    case_seed: int
+    fault_family: str
+    schedule_family: str
+    mode: ProtocolMode
+    report: DegradationReport
+
+
+@dataclass
+class ChaosFinding:
+    """One failing campaign case, shrunk and rendered."""
+
+    case_seed: int
+    fault_family: str
+    schedule_family: str
+    mode: ProtocolMode
+    failure: FuzzFailure
+    plan: Optional[FaultPlan]
+    fired: List[FiredFault]
+    shrunk_events: Tuple[FaultEvent, ...]
+    repro_source: str
+
+
+@dataclass
+class ChaosCampaignResult:
+    iterations: int
+    cases: List[ChaosCase] = field(default_factory=list)
+    findings: List[ChaosFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def family_fired(self) -> Dict[str, int]:
+        """Total effective faults per fault family across surviving cases."""
+        out = dict.fromkeys(CHAOS_FAMILIES, 0)
+        for case in self.cases:
+            out[case.fault_family] += case.report.total_fired
+        return out
+
+    def family_degraded(self) -> Dict[str, bool]:
+        """Per fault family: did some case fire faults *and* measure a
+        nonzero degradation delta vs its twin?  (The acceptance check that
+        injection is real, not vacuous.)"""
+        out = dict.fromkeys(CHAOS_FAMILIES, False)
+        for case in self.cases:
+            if case.report.degraded:
+                out[case.fault_family] = True
+        return out
+
+
+def render_plan(plan: FaultPlan, indent: str = "    ") -> str:
+    """Render a plan as constructor source (scripted plans render their
+    script; rate fields render only when nonzero/non-default)."""
+    args: List[str] = [f"seed={plan.seed}"]
+    defaults = FaultPlan()
+    for name in ("delay_cycles", "state_period"):
+        if getattr(plan, name) != getattr(defaults, name):
+            args.append(f"{name}={getattr(plan, name)}")
+    if plan.script is not None:
+        events = ", ".join(f"FaultEvent({e.kind!r}, {e.opportunity})"
+                           for e in plan.script)
+        args.append(f"script=({events}{',' if plan.script else ''})")
+    else:
+        for kind in plan.active_kinds():
+            args.append(f"{kind}={getattr(plan, kind)}")
+    return f"FaultPlan({', '.join(args)})"
+
+
+def render_chaos_repro(
+    schedule: List[FuzzOp],
+    mode: ProtocolMode,
+    plan: Optional[FaultPlan],
+    failure: FuzzFailure,
+    case_seed: int,
+    shrunken_sam: bool = False,
+    mutation: Optional[str] = None,
+) -> str:
+    """Render a failing chaos case as a ready-to-paste pytest case.
+
+    The generated test asserts the case *passes*, so it fails while the
+    reproduced bug exists and goes green once it is fixed.
+    """
+    name = f"test_chaos_repro_{mode.value}_seed{case_seed}"
+    header = (f"# Shrunk from a failing chaos case "
+              f"({len(schedule)}-op schedule).\n"
+              f"# Failure: {failure.stage}/{failure.kind}")
+    plan_import = ("from repro.faults import FaultEvent, FaultPlan\n"
+                   if plan is not None else "")
+    plan_src = render_plan(plan) if plan is not None else "None"
+    extra = ", shrunken_sam=True" if shrunken_sam else ""
+    if mutation:
+        extra += f", mutation={mutation!r}"
+    return f'''{header}
+from repro.check.fuzz import FuzzOp
+from repro.coherence.states import ProtocolMode
+{plan_import}from repro.faults.chaos import run_chaos_case
+
+
+def {name}():
+    schedule = [
+{render_schedule(schedule)}
+    ]
+    plan = {plan_src}
+    report = run_chaos_case(
+        schedule, mode=ProtocolMode.{mode.name}, plan=plan{extra})
+    assert report.ok, report.failure.describe()
+'''
+
+
+def chaos_campaign(
+    iterations: int = 18,
+    seed: int = 0,
+    modes: Optional[List[ProtocolMode]] = None,
+    fault_families: Optional[List[str]] = None,
+    num_threads: int = 4,
+    num_lines: int = 3,
+    length: int = 80,
+    intensity: float = 1.0,
+    mutation: Optional[str] = None,
+    shrink: bool = True,
+    shrink_budget: int = 250,
+    progress: Optional[Callable[[int, str, ProtocolMode, ChaosRunReport],
+                                None]] = None,
+) -> ChaosCampaignResult:
+    """Run ``iterations`` (schedule, fault plan) cases; every failure is
+    shrunk to a minimal fired-fault script and rendered as a pytest repro.
+
+    Fully deterministic for a given ``seed`` and parameter set.  Fault
+    families rotate fastest, then protocol modes, then schedule families;
+    resource-pressure cases additionally run with a shrunken (2-entry)
+    SAM so displacement pressure is constant.
+    """
+    modes = modes or list(ProtocolMode)
+    fault_families = fault_families or list(CHAOS_FAMILIES)
+    rng = random.Random(seed)
+    result = ChaosCampaignResult(iterations=iterations)
+    for index in range(iterations):
+        case_seed = rng.randrange(1 << 32)
+        fault_family = fault_families[index % len(fault_families)]
+        mode = modes[(index // len(fault_families)) % len(modes)]
+        schedule_family = FAMILIES[
+            (index // (len(fault_families) * len(modes))) % len(FAMILIES)]
+        shrunken_sam = fault_family == "pressure"
+        schedule = make_schedule(
+            schedule_family, random.Random(case_seed),
+            num_threads=num_threads, num_lines=num_lines, length=length)
+        plan = family_plan(fault_family, seed=case_seed,
+                           intensity=intensity)
+
+        def run(the_plan: Optional[FaultPlan]) -> ChaosRunReport:
+            return run_chaos_case(
+                schedule, mode=mode, plan=the_plan,
+                num_threads=num_threads, shrunken_sam=shrunken_sam,
+                mutation=mutation)
+
+        twin = run(None)
+        faulted = run(plan)
+        if progress is not None:
+            progress(index, fault_family, mode, faulted)
+        if not twin.ok:
+            # The schedule fails with *no* faults: a plain protocol bug the
+            # fuzzer's oracles caught.  Report it without a fault plan.
+            result.findings.append(ChaosFinding(
+                case_seed=case_seed, fault_family=fault_family,
+                schedule_family=schedule_family, mode=mode,
+                failure=twin.failure, plan=None, fired=[],
+                shrunk_events=(),
+                repro_source=render_chaos_repro(
+                    schedule, mode, None, twin.failure, case_seed,
+                    shrunken_sam=shrunken_sam, mutation=mutation)))
+            continue
+        if faulted.ok:
+            result.cases.append(ChaosCase(
+                index=index, case_seed=case_seed,
+                fault_family=fault_family,
+                schedule_family=schedule_family, mode=mode,
+                report=DegradationReport.from_stats(
+                    faulted.stats, twin.stats, faulted.fired_by_kind())))
+            continue
+        # Faulted run failed: convert the fired faults to a script, verify
+        # the scripted replay still fails, then ddmin the event list.
+        events = [f.event() for f in faulted.fired]
+
+        def still_fails(candidate: List[FaultEvent]) -> bool:
+            scripted = replace(plan, script=tuple(candidate))
+            return not run(scripted).ok
+
+        shrunk = list(events)
+        replayable = bool(events) and still_fails(events)
+        if replayable and shrink:
+            shrunk = shrink_schedule(events, still_fails,
+                                     budget=shrink_budget)
+        repro_plan = (replace(plan, script=tuple(shrunk)) if replayable
+                      else plan)
+        result.findings.append(ChaosFinding(
+            case_seed=case_seed, fault_family=fault_family,
+            schedule_family=schedule_family, mode=mode,
+            failure=faulted.failure, plan=repro_plan,
+            fired=faulted.fired, shrunk_events=tuple(shrunk),
+            repro_source=render_chaos_repro(
+                schedule, mode, repro_plan, faulted.failure, case_seed,
+                shrunken_sam=shrunken_sam, mutation=mutation)))
+    return result

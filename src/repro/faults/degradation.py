@@ -1,0 +1,110 @@
+"""Graceful-degradation measurement: faulted run vs fault-free twin.
+
+The degradation guarantee is *bounded loss*: an injected fault may cost
+detection accuracy (missed reports, aborted privatizations, early episode
+terminations) and some cycles/traffic, but the run must stay sanitizer-
+clean and terminate with a correct memory image.  A
+:class:`DegradationReport` quantifies exactly what was lost by comparing
+the faulted run's :class:`~repro.system.stats.SimStats` against a twin run
+of the same schedule/config/mode with no plan attached (simulations are
+deterministic, so the twin isolates the faults' entire effect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.system.stats import SimStats
+
+#: Termination causes counted as "early" — episodes ended by resource
+#: pressure rather than by a genuine access conflict.
+EARLY_CAUSES = ("sam_eviction", "llc_eviction")
+
+
+def _early(terminations: Dict[str, int]) -> int:
+    return sum(terminations.get(cause, 0) for cause in EARLY_CAUSES)
+
+
+@dataclass
+class DegradationReport:
+    """What a faulted run lost (or gained) versus its fault-free twin.
+
+    Positive ``delta()`` values mean the faulted run had *more* of the
+    metric.  ``degraded`` is the campaign's acceptance predicate: faults
+    actually fired and visibly changed the run — proof the injection is
+    real, while the run staying sanitizer-clean proves it was absorbed.
+    """
+
+    faults_fired: Dict[str, int] = field(default_factory=dict)
+    detections: int = 0
+    twin_detections: int = 0
+    privatizations: int = 0
+    twin_privatizations: int = 0
+    terminations: Dict[str, int] = field(default_factory=dict)
+    twin_terminations: Dict[str, int] = field(default_factory=dict)
+    cycles: int = 0
+    twin_cycles: int = 0
+    messages: int = 0
+    twin_messages: int = 0
+
+    @classmethod
+    def from_stats(cls, faulted: SimStats, twin: SimStats,
+                   faults_fired: Dict[str, int]) -> "DegradationReport":
+        return cls(
+            faults_fired=dict(faults_fired),
+            detections=len(faulted.reports),
+            twin_detections=len(twin.reports),
+            privatizations=faulted.privatizations,
+            twin_privatizations=twin.privatizations,
+            terminations=dict(faulted.terminations),
+            twin_terminations=dict(twin.terminations),
+            cycles=faulted.cycles,
+            twin_cycles=twin.cycles,
+            messages=faulted.total_messages,
+            twin_messages=twin.total_messages,
+        )
+
+    @property
+    def total_fired(self) -> int:
+        return sum(self.faults_fired.values())
+
+    @property
+    def early_terminations(self) -> int:
+        return _early(self.terminations)
+
+    @property
+    def twin_early_terminations(self) -> int:
+        return _early(self.twin_terminations)
+
+    def delta(self) -> Dict[str, int]:
+        """Nonzero faulted-minus-twin differences, by metric."""
+        diffs = {
+            "detections": self.detections - self.twin_detections,
+            "privatizations": self.privatizations - self.twin_privatizations,
+            "terminations": (sum(self.terminations.values())
+                             - sum(self.twin_terminations.values())),
+            "early_terminations": (self.early_terminations
+                                   - self.twin_early_terminations),
+            "cycles": self.cycles - self.twin_cycles,
+            "messages": self.messages - self.twin_messages,
+        }
+        return {key: value for key, value in diffs.items() if value}
+
+    @property
+    def degraded(self) -> bool:
+        """True when faults fired *and* measurably changed the run."""
+        return self.total_fired > 0 and bool(self.delta())
+
+    def describe(self) -> str:
+        lines: List[str] = []
+        fired = ", ".join(f"{kind} x{count}" for kind, count
+                          in sorted(self.faults_fired.items())) or "none"
+        lines.append(f"faults fired: {self.total_fired} ({fired})")
+        delta = self.delta()
+        if not delta:
+            lines.append("no measurable degradation vs fault-free twin")
+        else:
+            for key, value in sorted(delta.items()):
+                lines.append(f"{key}: {value:+d}")
+        return "\n".join(lines)

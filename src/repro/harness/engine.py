@@ -13,9 +13,16 @@ executes simulations:
 * **Parallelism** — with ``jobs > 1`` pending specs fan out over a
   spawn-based process pool.  Simulations are deterministic per spec, so
   parallel and serial execution produce cycle-for-cycle identical records.
-* **Resilience** — a spec whose worker crashes (or raises) is retried once
-  in the parent process; a second failure surfaces as a structured
-  :class:`EngineError` naming the spec, digest and cause.
+* **Resilience** — a spec whose worker crashes (or raises) is retried
+  with exponential backoff (``retries`` attempts beyond the first,
+  ``backoff`` seconds doubling per attempt); exhausted retries surface as
+  a structured :class:`EngineError` naming the spec, digest and cause.
+  With ``timeout`` set, each run executes under a supervised spawn worker
+  that is killed past its wall-clock deadline; the batch still drains, and
+  the raised :class:`EngineError` carries the completed records in
+  ``.partial``.  Corrupted cache entries are quarantined to a
+  ``.quarantine/`` sidecar (with a logged warning) and recomputed instead
+  of taking the batch down; cache writes are atomic (tmp + rename).
 * **Progress** — an optional ``progress(done, total, spec, seconds,
   source)`` callback fires per completed spec (``source`` is ``"run"`` or
   ``"cache"``); per-spec wall times accumulate in ``Engine.timings``.
@@ -24,11 +31,14 @@ executes simulations:
 from __future__ import annotations
 
 import json
+import logging
 import os
 import pathlib
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from multiprocessing import get_context
+from multiprocessing.connection import wait as _conn_wait
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.common.errors import ReproError
@@ -42,14 +52,22 @@ from repro.harness.runner import RunRecord, RunSpec, execute_spec
 #: ``obs`` field and records may carry an ``extra["obs"]`` payload.
 CODE_VERSION = "3"
 
+_log = logging.getLogger(__name__)
+
 
 class EngineError(ReproError):
-    """A spec failed to execute even after the engine's retry."""
+    """A spec failed to execute even after the engine's retries.
+
+    ``partial`` (when set) maps the specs that *did* complete in the same
+    batch to their records, so callers can salvage a partially-drained
+    batch after a timeout or persistent crash.
+    """
 
     def __init__(self, spec: RunSpec, attempts: int, cause: BaseException):
         self.spec = spec
         self.attempts = attempts
         self.cause = cause
+        self.partial: Optional[Dict[RunSpec, RunRecord]] = None
         super().__init__(
             f"run {spec.tag}/{spec.mode.value}/{spec.layout} "
             f"(digest {spec.digest()}) failed after {attempts} attempt(s): "
@@ -71,6 +89,24 @@ def _timed_call(executor: Callable[[RunSpec], RunRecord],
     return record, time.perf_counter() - start
 
 
+def _supervised_worker(executor: Callable[[RunSpec], RunRecord],
+                       spec: RunSpec, conn) -> None:
+    """Spawn-process entry point for the timeout-supervised pool: run one
+    spec and ship ``("ok", (record, seconds))`` or ``("err", exc)`` back
+    over the pipe (falling back to a plain RuntimeError if the original
+    exception does not pickle)."""
+    try:
+        record, seconds = _timed_call(executor, spec)
+        conn.send(("ok", (record, seconds)))
+    except BaseException as exc:  # noqa: BLE001 — must report, not die
+        try:
+            conn.send(("err", exc))
+        except Exception:
+            conn.send(("err", RuntimeError(f"{type(exc).__name__}: {exc}")))
+    finally:
+        conn.close()
+
+
 class Engine:
     """Batched simulation runner with dedup, caching and process fan-out.
 
@@ -83,16 +119,29 @@ class Engine:
     def __init__(self, jobs: int = 1,
                  cache_dir: Optional[os.PathLike] = None,
                  progress: Optional[Callable] = None,
-                 executor: Callable[[RunSpec], RunRecord] = execute_spec):
+                 executor: Callable[[RunSpec], RunRecord] = execute_spec,
+                 timeout: Optional[float] = None,
+                 retries: int = 1,
+                 backoff: float = 0.05):
         self.jobs = jobs
         self.cache_dir = (pathlib.Path(cache_dir).expanduser()
                           if cache_dir else None)
         self.progress = progress
         self._executor = executor
+        #: Per-run wall-clock limit in seconds (None = unlimited).  When
+        #: set, runs execute in supervised spawn workers that are killed
+        #: past the deadline, so one hung simulation cannot wedge a batch.
+        self.timeout = timeout
+        #: Extra attempts after the first failure/timeout, with
+        #: ``backoff * 2**(attempt-1)`` seconds between attempts.
+        self.retries = retries
+        self.backoff = backoff
         #: Counters: simulations executed, cache hits, in-batch duplicates
-        #: absorbed, and retries performed.
+        #: absorbed, retries performed, corrupted cache entries quarantined
+        #: and runs killed on timeout.
         self.stats: Dict[str, int] = {"executed": 0, "cache_hits": 0,
-                                      "deduped": 0, "retries": 0}
+                                      "deduped": 0, "retries": 0,
+                                      "quarantined": 0, "timeouts": 0}
         #: Per-spec wall-clock seconds, keyed by ``spec.digest()``.
         self.timings: Dict[str, float] = {}
 
@@ -131,7 +180,10 @@ class Engine:
                 self._notify(done, total, spec, None, "cache")
 
         workers = self._resolve_jobs(jobs)
-        if len(pending) > 1 and workers > 1:
+        if pending and self.timeout is not None:
+            done = self._run_supervised(pending, workers, results,
+                                        done, total)
+        elif len(pending) > 1 and workers > 1:
             done = self._run_parallel(pending, workers, results, done, total)
         else:
             for spec in pending:
@@ -182,11 +234,101 @@ class Engine:
             return self._retry_in_parent(spec, exc)
 
     def _retry_in_parent(self, spec: RunSpec, first: BaseException) -> tuple:
-        self.stats["retries"] += 1
-        try:
-            return _timed_call(self._executor, spec)
-        except Exception as exc:
-            raise EngineError(spec, attempts=2, cause=exc) from first
+        for attempt in range(1, self.retries + 1):
+            self.stats["retries"] += 1
+            time.sleep(self.backoff * (2 ** (attempt - 1)))
+            try:
+                return _timed_call(self._executor, spec)
+            except Exception as exc:
+                first = exc
+        raise EngineError(spec, attempts=self.retries + 1,
+                          cause=first) from first
+
+    # ------------------------------------------------- supervised (timeout)
+
+    def _run_supervised(self, pending: List[RunSpec], workers: int,
+                        results: Dict[RunSpec, RunRecord],
+                        done: int, total: int) -> int:
+        """Run ``pending`` under per-run wall-clock supervision.
+
+        One spawn :class:`~multiprocessing.Process` per attempt, a pipe per
+        worker; workers past their deadline are killed and the spec retried
+        (with backoff) or recorded as failed.  The batch always drains —
+        the first failure is raised *afterwards*, carrying every completed
+        record in ``EngineError.partial``.
+        """
+        ctx = get_context("spawn")
+        ready = deque((spec, 1) for spec in pending)
+        delayed: List[tuple] = []   # (not_before, spec, attempt)
+        running: Dict[object, tuple] = {}  # conn -> (spec, attempt, proc, dl)
+        failures: List[EngineError] = []
+
+        def settle(spec: RunSpec, attempt: int,
+                   cause: BaseException) -> None:
+            if attempt <= self.retries:
+                self.stats["retries"] += 1
+                pause = self.backoff * (2 ** (attempt - 1))
+                delayed.append((time.monotonic() + pause, spec, attempt + 1))
+            else:
+                failures.append(EngineError(spec, attempts=attempt,
+                                            cause=cause))
+
+        while ready or delayed or running:
+            now = time.monotonic()
+            still: List[tuple] = []
+            for not_before, spec, attempt in delayed:
+                if not_before <= now:
+                    ready.append((spec, attempt))
+                else:
+                    still.append((not_before, spec, attempt))
+            delayed = still
+            while ready and len(running) < workers:
+                spec, attempt = ready.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(target=_supervised_worker,
+                                   args=(self._executor, spec, child_conn))
+                proc.start()
+                child_conn.close()
+                deadline = now + self.timeout
+                running[parent_conn] = (spec, attempt, proc, deadline)
+            if not running:
+                time.sleep(0.01)  # only backoff pauses outstanding
+                continue
+            for conn in _conn_wait(list(running), timeout=0.05):
+                spec, attempt, proc, _ = running.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                except (EOFError, OSError):
+                    status, payload = "err", RuntimeError(
+                        "worker died without reporting a result")
+                conn.close()
+                proc.join()
+                if status == "ok":
+                    record, seconds = payload
+                    done = self._complete(spec, record, seconds, results,
+                                          done, total)
+                else:
+                    settle(spec, attempt, payload)
+            now = time.monotonic()
+            for conn in list(running):
+                spec, attempt, proc, deadline = running[conn]
+                if now <= deadline:
+                    continue
+                del running[conn]
+                proc.kill()
+                proc.join()
+                conn.close()
+                self.stats["timeouts"] += 1
+                _log.warning("run %s exceeded %.1fs timeout (attempt %d); "
+                             "worker killed", spec.digest(), self.timeout,
+                             attempt)
+                settle(spec, attempt, TimeoutError(
+                    f"exceeded {self.timeout:.1f}s wall-clock limit"))
+        if failures:
+            first = failures[0]
+            first.partial = dict(results)
+            raise first
+        return done
 
     def _complete(self, spec: RunSpec, record: RunRecord, seconds: float,
                   results: Dict[RunSpec, RunRecord],
@@ -216,14 +358,43 @@ class Engine:
         if path is None or not path.exists():
             return None
         try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            return None  # unreadable, not necessarily corrupt: leave it
+        try:
+            data = json.loads(text)
+        except ValueError:
+            self._quarantine(path, "not valid JSON")
+            return None
+        if not isinstance(data, dict) or "record" not in data:
+            self._quarantine(path, "not a cache record")
             return None
         if data.get("code_version") != CODE_VERSION:
             return None  # stale: re-simulate and overwrite
         if data.get("spec") != spec.to_dict():
             return None  # digest collision paranoia
-        return record_from_dict(data["record"])
+        try:
+            return record_from_dict(data["record"])
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            self._quarantine(path, f"undecodable record ({exc})")
+            return None
+
+    def _quarantine(self, path: pathlib.Path, reason: str) -> None:
+        """Move a corrupted cache entry into a ``.quarantine/`` sidecar so
+        the bad bytes stay inspectable, warn, and let the caller recompute.
+        Never raises: a cache problem must not take a batch down."""
+        target = path.parent / ".quarantine" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return  # can't even remove it; _cache_put will overwrite
+        self.stats["quarantined"] += 1
+        _log.warning("quarantined corrupted cache entry %s (%s); "
+                     "recomputing", path.name, reason)
 
     def _cache_put(self, spec: RunSpec, record: RunRecord) -> None:
         path = self._cache_path(spec)

@@ -21,6 +21,7 @@ from typing import Any, Dict, Optional
 
 from repro.coherence.states import ProtocolMode
 from repro.common.config import ObsConfig, SystemConfig
+from repro.common.errors import ConfigError
 from repro.system.builder import build_machine
 from repro.system.simulator import Simulator, flush_machine_memory
 from repro.system.stats import SimStats
@@ -55,11 +56,35 @@ class RunSpec:
     #: ``RunRecord.extra["obs"]``.
     obs: Optional[ObsConfig] = None
 
+    #: Valid ``layout`` / ``core_model`` values (fail at construction, not
+    #: deep inside a worker process half a batch later).
+    VALID_LAYOUTS = ("packed", "padded", "huron")
+    VALID_CORE_MODELS = ("inorder", "ooo")
+
     def __post_init__(self) -> None:
         # Normalize so RunSpec(tag="ww") == RunSpec(tag="ww",
         # config=SystemConfig()) — same work, same digest, same cache slot.
         if self.config is None:
             object.__setattr__(self, "config", SystemConfig())
+        if not self.tag or not isinstance(self.tag, str):
+            raise ConfigError("RunSpec.tag must be a non-empty workload tag")
+        if self.layout not in self.VALID_LAYOUTS:
+            raise ConfigError(
+                f"RunSpec.layout {self.layout!r} is not one of "
+                f"{', '.join(self.VALID_LAYOUTS)}")
+        if self.core_model not in self.VALID_CORE_MODELS:
+            raise ConfigError(
+                f"RunSpec.core_model {self.core_model!r} is not one of "
+                f"{', '.join(self.VALID_CORE_MODELS)}")
+        if not 1 <= self.num_threads <= self.config.num_cores:
+            raise ConfigError(
+                f"RunSpec.num_threads={self.num_threads} must be in "
+                f"[1, {self.config.num_cores}] (config.num_cores)")
+        if not self.scale > 0:
+            raise ConfigError(f"RunSpec.scale={self.scale!r} must be > 0")
+        if self.ooo_window < 1:
+            raise ConfigError(
+                f"RunSpec.ooo_window={self.ooo_window} must be >= 1")
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe plain-dict form (inverse of :meth:`from_dict`)."""

@@ -154,6 +154,16 @@ class Network:
         self.post_send_hooks: list = []
         self.post_deliver_hooks: list = []
         self._hooked = False
+        #: Fault-injection seam (:mod:`repro.faults`).  When set, every
+        #: injected message passes through ``fault_seam(msg, extra_delay)``
+        #: *before* it is scheduled or any post-send hook fires: the seam
+        #: returns the (possibly increased) extra delay, or None to drop the
+        #: message on the wire.  A dropped message is counted in the traffic
+        #: stats (it was sent) but never delivered and never observed, so
+        #: in-flight accounting by observers stays consistent.  None (the
+        #: default) costs one attribute check per send.
+        self.fault_seam: Optional[Callable[[Message, int],
+                                           Optional[int]]] = None
 
     def register(self, node_id: int, handler: Callable[[Message], None]) -> None:
         if node_id in self._handlers:
@@ -200,6 +210,11 @@ class Network:
         value = msg.mtype.value
         self.stats._count_by_type[value] += 1
         self.stats._bytes_by_type[value] += SIZE_BY_VALUE[value]
+        if self.fault_seam is not None:
+            perturbed = self.fault_seam(msg, extra_delay)
+            if perturbed is None:
+                return  # injected message loss: counted, never delivered
+            extra_delay = perturbed
         arrival = (self._queue._now + self.latency
                    + self._SER_DELAY_BY_VALUE[value] + extra_delay)
         if (self.ordered_source_min is not None

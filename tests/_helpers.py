@@ -48,6 +48,34 @@ def run_programs(programs, mode=ProtocolMode.MESI, config=None,
     return result, machine
 
 
+#: Seed value that makes the failure-injecting executors below misbehave.
+POISON_SEED = 999
+
+
+def crashing_executor(spec):
+    """Engine executor that crashes on poison specs.
+
+    Module-level so it pickles into spawn workers (the tests directory is
+    on ``sys.path``, which spawn children inherit).
+    """
+    from repro.harness.runner import execute_spec
+
+    if spec.seed == POISON_SEED:
+        raise RuntimeError("injected worker crash")
+    return execute_spec(spec)
+
+
+def hanging_executor(spec):
+    """Engine executor that hangs forever on poison specs."""
+    import time
+
+    from repro.harness.runner import execute_spec
+
+    if spec.seed == POISON_SEED:
+        time.sleep(600)
+    return execute_spec(spec)
+
+
 def memory_image(machine: Machine):
     return flush_machine_memory(machine)
 

@@ -76,6 +76,25 @@ def test_observed_run_is_cycle_identical(mode):
     assert record_stats_digest(observed) == entry["stats_sha256"]
 
 
+@pytest.mark.parametrize("mode", list(ProtocolMode),
+                         ids=[m.value for m in ProtocolMode])
+def test_faults_package_inert_without_a_plan(mode):
+    """The fault-injection seams (network ``fault_seam``, the directory/
+    L1/PAM/SAM fault hooks) must be bit-for-bit free when no injector is
+    attached: importing :mod:`repro.faults` and running a golden spec must
+    reproduce the exact golden cycles and canonical stats digest."""
+    import repro.faults  # noqa: F401 — the import is the point
+    from repro.faults import FaultInjector, FaultPlan  # noqa: F401
+
+    entry = next(e for e in GOLDEN.values()
+                 if e["tag"] == "RC" and e["mode"] == mode.value
+                 and not e["sanitizer"])
+    spec = _spec_for(entry)
+    record = execute_spec(spec)
+    assert record.cycles == entry["cycles"]
+    assert record_stats_digest(record) == entry["stats_sha256"]
+
+
 def test_golden_covers_all_modes_and_sanitizer_states():
     """The fixture spans {RC, FA} x all modes x sanitizer {off, on}."""
     seen = {(e["tag"], e["mode"], e["sanitizer"]) for e in GOLDEN.values()}

@@ -102,7 +102,8 @@ class TestCache:
         first = Engine(cache_dir=tmp_path)
         rec1 = first.run_one(spec)
         assert first.stats == {"executed": 1, "cache_hits": 0,
-                               "deduped": 0, "retries": 0}
+                               "deduped": 0, "retries": 0,
+                               "quarantined": 0, "timeouts": 0}
         second = Engine(cache_dir=tmp_path)
         rec2 = second.run_one(spec)
         assert second.stats["cache_hits"] == 1
@@ -133,14 +134,51 @@ class TestCache:
         assert engine.stats["executed"] == 1  # stale entry re-simulated
         assert json.loads(path.read_text())["code_version"] == CODE_VERSION
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_quarantined_and_recomputed(self, tmp_path,
+                                                         caplog):
         spec = RunSpec(tag="ww", scale=SCALE)
         Engine(cache_dir=tmp_path).run_one(spec)
         (tmp_path / f"{spec.digest()}.json").write_text("{not json")
         engine = Engine(cache_dir=tmp_path)
-        rec = engine.run_one(spec)
+        with caplog.at_level("WARNING", logger="repro.harness.engine"):
+            rec = engine.run_one(spec)
         assert engine.stats["executed"] == 1
+        assert engine.stats["quarantined"] == 1
         assert rec.cycles > 0
+        # The bad bytes moved to the sidecar, and the entry was rewritten.
+        sidecar = tmp_path / ".quarantine" / f"{spec.digest()}.json"
+        assert sidecar.read_text() == "{not json"
+        assert "quarantined" in caplog.text
+        fresh = Engine(cache_dir=tmp_path)
+        assert fresh.run_one(spec).cycles == rec.cycles
+        assert fresh.stats["cache_hits"] == 1
+
+    def test_undecodable_record_is_quarantined(self, tmp_path):
+        spec = RunSpec(tag="ww", scale=SCALE)
+        Engine(cache_dir=tmp_path).run_one(spec)
+        path = tmp_path / f"{spec.digest()}.json"
+        bad = json.loads(path.read_text())
+        bad["record"] = {"bogus": True}
+        path.write_text(json.dumps(bad))
+        engine = Engine(cache_dir=tmp_path)
+        engine.run_one(spec)
+        assert engine.stats["executed"] == 1
+        assert engine.stats["quarantined"] == 1
+        assert (tmp_path / ".quarantine" / path.name).exists()
+
+    def test_stale_version_is_not_quarantined(self, tmp_path):
+        # A stale-but-well-formed entry is ordinary invalidation, not
+        # corruption: no warning, no sidecar, just a re-simulation.
+        spec = RunSpec(tag="ww", scale=SCALE)
+        Engine(cache_dir=tmp_path).run_one(spec)
+        path = tmp_path / f"{spec.digest()}.json"
+        stale = json.loads(path.read_text())
+        stale["code_version"] = f"{CODE_VERSION}-stale"
+        path.write_text(json.dumps(stale))
+        engine = Engine(cache_dir=tmp_path)
+        engine.run_one(spec)
+        assert engine.stats["quarantined"] == 0
+        assert not (tmp_path / ".quarantine").exists()
 
     def test_unusable_cache_dir_is_a_clean_error(self, tmp_path):
         from repro.common.errors import ReproError
@@ -180,9 +218,11 @@ class TestParallel:
         assert second.stats["executed"] == 0
 
     def test_parallel_failure_surfaces_engine_error(self):
-        bad = RunSpec(tag="ww", scale=SCALE, core_model="no-such-core")
+        from _helpers import POISON_SEED, crashing_executor
+        bad = RunSpec(tag="ww", scale=SCALE, seed=POISON_SEED)
+        engine = Engine(jobs=2, executor=crashing_executor, backoff=0.01)
         with pytest.raises(EngineError) as info:
-            Engine(jobs=2).run_many([bad, RunSpec(tag="ww", scale=SCALE)])
+            engine.run_many([bad, RunSpec(tag="ww", scale=SCALE)])
         assert info.value.spec == bad
         assert info.value.attempts == 2
         assert bad.digest() in str(info.value)
@@ -217,6 +257,87 @@ class TestRetry:
         assert err.attempts == 2
         assert isinstance(err.cause, RuntimeError)
         assert engine.stats["retries"] == 1
+
+
+class TestTimeout:
+    def test_hung_worker_is_killed_and_batch_completes(self):
+        """A hung run is killed at the wall-clock deadline; the rest of
+        the batch drains and the error carries the partial results."""
+        from _helpers import POISON_SEED, hanging_executor
+        hung = RunSpec(tag="ww", scale=SCALE, seed=POISON_SEED)
+        good = RunSpec(tag="ww", scale=SCALE)
+        engine = Engine(jobs=2, executor=hanging_executor,
+                        timeout=5.0, retries=0)
+        with pytest.raises(EngineError) as info:
+            engine.run_many([hung, good])
+        err = info.value
+        assert err.spec == hung
+        assert isinstance(err.cause, TimeoutError)
+        assert engine.stats["timeouts"] == 1
+        assert err.partial is not None
+        assert good in err.partial and err.partial[good].cycles > 0
+        assert hung not in err.partial
+
+    def test_timeout_supervision_succeeds_and_caches(self, tmp_path):
+        spec = RunSpec(tag="ww", scale=SCALE)
+        engine = Engine(cache_dir=tmp_path, timeout=120.0)
+        record = engine.run_one(spec)
+        assert record.cycles > 0
+        assert engine.stats["executed"] == 1
+        assert engine.stats["timeouts"] == 0
+        # Supervised runs produce the same record as in-process execution
+        # and land in the same cache slot.
+        replay = Engine(cache_dir=tmp_path)
+        assert replay.run_one(spec).cycles == record.cycles
+        assert replay.stats["cache_hits"] == 1
+
+    def test_timed_out_spec_is_retried(self):
+        from _helpers import POISON_SEED, hanging_executor
+        hung = RunSpec(tag="ww", scale=SCALE, seed=POISON_SEED)
+        engine = Engine(executor=hanging_executor, timeout=2.0,
+                        retries=1, backoff=0.01)
+        with pytest.raises(EngineError) as info:
+            engine.run_many([hung])
+        assert info.value.attempts == 2
+        assert engine.stats["timeouts"] == 2
+        assert engine.stats["retries"] == 1
+
+
+class TestValidation:
+    def test_bad_layout_fails_at_construction(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError, match="layout"):
+            RunSpec(tag="ww", layout="interleaved")
+
+    def test_bad_core_model_fails_at_construction(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError, match="core_model"):
+            RunSpec(tag="ww", core_model="no-such-core")
+
+    def test_thread_count_checked_against_config(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError, match="num_threads"):
+            RunSpec(tag="ww", num_threads=99)
+        with pytest.raises(ConfigError, match="num_threads"):
+            RunSpec(tag="ww", num_threads=0)
+
+    def test_scale_and_window_checked(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError, match="scale"):
+            RunSpec(tag="ww", scale=0)
+        with pytest.raises(ConfigError, match="ooo_window"):
+            RunSpec(tag="ww", core_model="ooo", ooo_window=0)
+
+    def test_empty_tag_rejected(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError, match="tag"):
+            RunSpec(tag="")
+
+    def test_unreachable_r2_threshold_rejected(self):
+        from repro.common.config import SystemConfig
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError, match="tau_r2"):
+            SystemConfig().with_protocol(tau_r2=500, counter_max=127)
 
 
 class TestProgress:

@@ -1,0 +1,298 @@
+"""Tests of the fault-injection subsystem (:mod:`repro.faults`).
+
+Covers the FaultPlan value semantics (validation, serialization, digest
+stability), the injector's determinism contract (identical re-runs,
+all-zero plans bit-for-bit equal to no plan, exact scripted replay of a
+recorded run), graceful degradation per fault family (every faulted run
+sanitizer-clean and terminating, with a nonzero DegradationReport delta
+against its fault-free twin), and the protocol-legality guards on the
+individual seams.
+"""
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from _helpers import run_programs, small_config
+from repro.check.fuzz import make_schedule
+from repro.coherence.states import ProtocolMode
+from repro.common.errors import ConfigError
+from repro.cpu.ops import compute, load, store
+from repro.faults import (
+    ALL_KINDS,
+    CHAOS_FAMILIES,
+    DegradationReport,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    family_plan,
+)
+from repro.faults.chaos import run_chaos_case
+from repro.system.builder import build_machine
+
+
+def _fired_tuples(report):
+    return [(f.kind, f.opportunity, f.cycle, f.block) for f in report.fired]
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ConfigError, match="outside"):
+            FaultPlan(drop_rep_md=1.5)
+        with pytest.raises(ConfigError, match="outside"):
+            FaultPlan(l1_evict=-0.1)
+        with pytest.raises(ConfigError, match="state_period"):
+            FaultPlan(state_period=0)
+        with pytest.raises(ConfigError, match="delay_cycles"):
+            FaultPlan(delay_cycles=-1)
+
+    def test_event_validated(self):
+        with pytest.raises(ConfigError, match="unknown fault kind"):
+            FaultEvent("meteor_strike", 0)
+        with pytest.raises(ConfigError, match="opportunity"):
+            FaultEvent("dup_md", -1)
+
+    def test_dict_roundtrip_and_digest(self):
+        plan = FaultPlan(seed=3, drop_rep_md=0.5, pam_clear=0.25,
+                         state_period=16)
+        again = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert again == plan
+        assert again.digest() == plan.digest()
+        assert plan.digest() != FaultPlan(seed=4, drop_rep_md=0.5,
+                                          pam_clear=0.25,
+                                          state_period=16).digest()
+
+    def test_scripted_roundtrip(self):
+        plan = FaultPlan(script=(FaultEvent("dup_md", 2),
+                                 FaultEvent("pam_clear", 0)))
+        assert plan.scripted
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again == plan
+        assert again.active_kinds() == ("dup_md", "pam_clear")
+
+    def test_family_plans_cover_taxonomy(self):
+        covered = set()
+        for family in CHAOS_FAMILIES:
+            plan = family_plan(family)
+            kinds = plan.active_kinds()
+            assert kinds, family
+            covered.update(kinds)
+        assert covered == set(ALL_KINDS)
+        with pytest.raises(ConfigError, match="unknown fault family"):
+            family_plan("gremlins")
+
+    def test_intensity_scales_and_clamps(self):
+        mild = family_plan("message", intensity=0.5)
+        full = family_plan("message", intensity=1.0)
+        hot = family_plan("message", intensity=10.0)
+        assert mild.drop_rep_md == pytest.approx(full.drop_rep_md * 0.5)
+        assert hot.drop_rep_md == 1.0
+
+
+class TestDeterminism:
+    SCHEDULE = make_schedule("mixed", random.Random(11), length=60)
+
+    def test_identical_runs_fire_identically(self):
+        plan = family_plan("metadata", seed=5)
+        a = run_chaos_case(self.SCHEDULE, ProtocolMode.FSLITE, plan=plan)
+        b = run_chaos_case(self.SCHEDULE, ProtocolMode.FSLITE, plan=plan)
+        assert a.ok and b.ok
+        assert _fired_tuples(a) == _fired_tuples(b)
+        assert a.cycles == b.cycles
+
+    def test_zero_rate_plan_is_bit_for_bit_no_plan(self):
+        """An attached injector whose plan never fires must not perturb
+        the simulation at all — the seams are free when silent."""
+        twin = run_chaos_case(self.SCHEDULE, ProtocolMode.FSLITE, plan=None)
+        nulled = run_chaos_case(self.SCHEDULE, ProtocolMode.FSLITE,
+                                plan=FaultPlan(seed=123))
+        assert nulled.ok and not nulled.fired
+        assert nulled.cycles == twin.cycles
+        assert nulled.stats.summary() == twin.stats.summary()
+
+    def test_scripted_replay_is_exact(self):
+        """Replaying a recorded run's fired list as a script reproduces
+        the identical faults and the identical run — the property that
+        makes ddmin over fault events sound."""
+        plan = family_plan("metadata", seed=5)
+        live = run_chaos_case(self.SCHEDULE, ProtocolMode.FSLITE, plan=plan)
+        assert live.fired, "need fired faults for a meaningful replay"
+        scripted = dataclasses.replace(
+            plan, script=tuple(f.event() for f in live.fired))
+        replay = run_chaos_case(self.SCHEDULE, ProtocolMode.FSLITE,
+                                plan=scripted)
+        assert _fired_tuples(replay) == _fired_tuples(live)
+        assert replay.cycles == live.cycles
+        assert replay.stats.summary() == live.stats.summary()
+
+    def test_script_subset_is_deterministic(self):
+        plan = family_plan("metadata", seed=5)
+        live = run_chaos_case(self.SCHEDULE, ProtocolMode.FSLITE, plan=plan)
+        events = [f.event() for f in live.fired]
+        subset = tuple(events[::2])
+        a = run_chaos_case(self.SCHEDULE, ProtocolMode.FSLITE,
+                           plan=dataclasses.replace(plan, script=subset))
+        b = run_chaos_case(self.SCHEDULE, ProtocolMode.FSLITE,
+                           plan=dataclasses.replace(plan, script=subset))
+        assert a.ok and b.ok
+        assert _fired_tuples(a) == _fired_tuples(b)
+
+
+class TestGracefulDegradation:
+    """Per family: faults fire, the run stays clean, and the twin
+    comparison shows a measurable (nonzero-delta) degradation."""
+
+    @pytest.mark.parametrize("family", CHAOS_FAMILIES)
+    def test_family_absorbs_faults_cleanly(self, family):
+        degraded = False
+        for seed in range(4):
+            schedule = make_schedule("disjoint", random.Random(20 + seed),
+                                     length=60)
+            twin = run_chaos_case(schedule, ProtocolMode.FSLITE,
+                                  shrunken_sam=(family == "pressure"))
+            faulted = run_chaos_case(schedule, ProtocolMode.FSLITE,
+                                     plan=family_plan(family, seed=seed),
+                                     shrunken_sam=(family == "pressure"))
+            assert twin.ok, twin.failure and twin.failure.describe()
+            assert faulted.ok, (family, seed,
+                                faulted.failure.describe())
+            report = DegradationReport.from_stats(
+                faulted.stats, twin.stats, faulted.fired_by_kind())
+            if report.degraded:
+                degraded = True
+        assert degraded, f"family {family} never measurably degraded a run"
+
+    @pytest.mark.parametrize("mode", list(ProtocolMode),
+                             ids=[m.value for m in ProtocolMode])
+    def test_all_modes_survive_all_families(self, mode):
+        schedule = make_schedule("mixed", random.Random(31), length=60)
+        for family in CHAOS_FAMILIES:
+            report = run_chaos_case(schedule, mode,
+                                    plan=family_plan(family, seed=2),
+                                    shrunken_sam=(family == "pressure"))
+            assert report.ok, (mode, family, report.failure.describe())
+
+
+class TestDegradationReport:
+    def test_delta_and_describe(self):
+        report = DegradationReport(
+            faults_fired={"pam_clear": 3}, detections=1, twin_detections=4,
+            terminations={"conflict": 1, "sam_eviction": 2},
+            twin_terminations={"conflict": 1},
+            cycles=1100, twin_cycles=1000, messages=50, twin_messages=50)
+        delta = report.delta()
+        assert delta["detections"] == -3
+        assert delta["terminations"] == 2
+        assert delta["early_terminations"] == 2
+        assert delta["cycles"] == 100
+        assert "messages" not in delta
+        assert report.degraded
+        text = report.describe()
+        assert "pam_clear x3" in text and "detections: -3" in text
+
+    def test_not_degraded_without_fired_faults(self):
+        report = DegradationReport(faults_fired={}, cycles=1, twin_cycles=2)
+        assert not report.degraded
+
+
+class TestInjectorLifecycle:
+    def test_single_injector_per_machine(self):
+        machine = build_machine(small_config(), ProtocolMode.FSLITE)
+        first = FaultInjector(machine, FaultPlan()).attach()
+        try:
+            with pytest.raises(RuntimeError, match="already attached"):
+                FaultInjector(machine, FaultPlan()).attach()
+        finally:
+            first.detach()
+        assert machine.network.fault_seam is None
+        # After a clean detach a new injector may attach.
+        FaultInjector(machine, FaultPlan()).attach().detach()
+
+
+class TestSeamLegality:
+    """The None-guarded seams refuse protocol-illegal targets."""
+
+    def _machine(self, mode=ProtocolMode.FSLITE):
+        def writer():
+            yield store(0x1000, 7, size=8)
+            yield compute(40)
+            yield load(0x1000, size=8)
+
+        _, machine = run_programs([writer()], mode=mode,
+                                  config=small_config())
+        return machine
+
+    def test_mesi_slice_refuses_detector_faults(self):
+        machine = self._machine(ProtocolMode.MESI)
+        sl = machine.home_slice(0x1000)
+        assert sl.detector is None
+        assert sl.fault_sam_loss(0x1000) is False
+        assert sl.fault_counter_glitch(0x1000, "reset") is False
+
+    def test_counter_glitch_rejects_unknown_glitch(self):
+        machine = self._machine()
+        sl = machine.home_slice(0x1000)
+        # Force a metadata entry so the glitch reaches the dispatch.
+        sl.detector.meta_for(0x1000)
+        with pytest.raises(ValueError, match="glitch"):
+            sl.fault_counter_glitch(0x1000, "cosmic-ray")
+
+    def test_l1_evict_refuses_absent_block(self):
+        machine = self._machine()
+        assert machine.l1s[0].fault_evict(0xDEAD000) is False
+
+    def test_l1_evict_accepts_resident_block(self):
+        machine = self._machine()
+        l1 = machine.l1s[0]
+        assert 0x1000 in l1.resident_blocks()
+        assert l1.fault_evict(0x1000) is True
+        assert 0x1000 not in l1.resident_blocks()
+
+    def test_llc_evict_refuses_absent_block(self):
+        machine = self._machine()
+        sl = machine.home_slice(0xDEAD000)
+        assert sl.fault_llc_eviction(0xDEAD000) is False
+
+    def test_pam_clear_only_clears_nonempty(self):
+        machine = self._machine()
+        pam = machine.l1s[0].pam
+        blocks = pam.resident_blocks()
+        assert 0x1000 in blocks
+        assert pam.fault_clear(0x1000) is True
+        # Second clear finds nothing left to clear: not "effective".
+        assert pam.fault_clear(0x1000) is False
+        assert pam.fault_clear(0xDEAD000) is False
+
+
+class TestMessageFaultLegality:
+    def test_solicited_rep_md_never_dropped(self):
+        """drop_rep_md at rate 1.0 must still let every solicited REP_MD
+        through (dropping one would deadlock a TR_PRV init), so the run
+        completes and stays clean."""
+        schedule = make_schedule("disjoint", random.Random(9), length=60)
+        plan = FaultPlan(seed=1, drop_rep_md=1.0)
+        report = run_chaos_case(schedule, ProtocolMode.FSLITE, plan=plan)
+        assert report.ok, report.failure.describe()
+
+    def test_duplicates_not_refaulted(self):
+        """dup_md at rate 1.0 must not recurse: each eligible message is
+        duplicated at most once and the duplicate itself is exempt."""
+        schedule = make_schedule("disjoint", random.Random(9), length=60)
+        plan = FaultPlan(seed=1, dup_md=1.0)
+        report = run_chaos_case(schedule, ProtocolMode.FSLITE, plan=plan)
+        assert report.ok, report.failure.describe()
+
+    def test_max_rate_everything_still_clean(self):
+        """The worst legal storm — every message fault at rate 1.0 plus
+        aggressive state faults — still yields a clean, terminating run."""
+        schedule = make_schedule("mixed", random.Random(13), length=60)
+        plan = FaultPlan(seed=2, drop_rep_md=1.0, drop_req_md=1.0,
+                         dup_md=1.0, delay_md=1.0, pam_clear=1.0,
+                         sam_invalidate=1.0, counter_reset=1.0,
+                         counter_saturate=1.0, pmmc_clear=1.0,
+                         l1_evict=1.0, llc_evict=1.0, state_period=8)
+        report = run_chaos_case(schedule, ProtocolMode.FSLITE, plan=plan)
+        assert report.ok, report.failure.describe()
+        assert report.fired
