@@ -27,7 +27,13 @@ The surface groups into:
 * **observability** — ``ObsConfig`` on a spec, ``Observer`` instruments
   (``MessageTracer``, ``MetricsSampler``, ``EpisodeTracker``,
   ``Sanitizer``) for hand-built machines, and the Chrome-trace/Perfetto
-  exporters.
+  exporters;
+* **conformance** — the atomic reference model (``AtomicMachine``,
+  ``run_reference``) and the differential oracle (``run_differential``,
+  ``differential_check``, ``diff_workload``) comparing the detailed
+  simulator's memory images, detection verdicts and metadata against it
+  across all protocol modes (campaign driver: ``repro.check.diff`` /
+  ``python -m repro.cli diff``).
 """
 
 from __future__ import annotations
@@ -88,6 +94,18 @@ from repro.faults import (
     FiredFault,
     family_plan,
 )
+
+# -- conformance -----------------------------------------------------------
+
+from repro.check.diff import (
+    DiffReport,
+    Divergence,
+    diff_workload,
+    differential_check,
+    run_differential,
+)
+from repro.check.refmodel import AtomicMachine, RefResult, run_reference
+from repro.harness.runner import execute_spec_with_machine
 
 # -- observability ---------------------------------------------------------
 
@@ -155,6 +173,16 @@ __all__ = [
     "FaultPlan",
     "FiredFault",
     "family_plan",
+    # conformance
+    "AtomicMachine",
+    "DiffReport",
+    "Divergence",
+    "RefResult",
+    "diff_workload",
+    "differential_check",
+    "execute_spec_with_machine",
+    "run_differential",
+    "run_reference",
     # observability
     "InvariantViolation",
     "Sanitizer",

@@ -1,6 +1,7 @@
-"""Online protocol checking and random protocol testing.
+"""Online protocol checking, random protocol testing, and differential
+conformance against an atomic reference model.
 
-Two tools live here:
+Four tools live here:
 
 * :mod:`repro.check.sanitizer` — an online invariant checker that observes
   a machine through the network's post-send/post-deliver hooks and, after
@@ -12,6 +13,17 @@ Two tools live here:
   randomized per-line load/store/RMW/evict streams across the three
   protocol modes with the sanitizer enabled, and delta-debugs any failing
   schedule down to a minimal reproducing pytest case.
+* :mod:`repro.check.refmodel` — a timing-agnostic, transient-state-free
+  atomic machine: a second, independent implementation of the protocol's
+  observable semantics (final memory image + ground-truth access sets)
+  that consumes the same translated op schedules as the detailed
+  simulator.
+* :mod:`repro.check.diff` — the differential driver: replays any schedule
+  on the detailed machine (every protocol mode) and on the atomic
+  reference, comparing memory images, detection verdicts, metadata,
+  counters and cross-mode agreement; ddmin-shrinks divergences and proves
+  the oracle has teeth via the seeded mutations of
+  :mod:`repro.check.mutations`.
 """
 
 from repro.check.sanitizer import InvariantViolation, Sanitizer
@@ -27,7 +39,24 @@ from repro.check.fuzz import (
     make_schedule,
     render_pytest_repro,
     run_schedule,
+    schedule_to_ops,
     shrink_schedule,
+)
+from repro.check.refmodel import (
+    AtomicMachine,
+    RefResult,
+    run_programs_atomic,
+    run_reference,
+)
+from repro.check.diff import (
+    DiffReport,
+    Divergence,
+    diff_campaign,
+    diff_workload,
+    differential_check,
+    hunt_mutation_escape,
+    mutation_escape_sweep,
+    run_differential,
 )
 
 __all__ = [
@@ -45,5 +74,18 @@ __all__ = [
     "make_schedule",
     "render_pytest_repro",
     "run_schedule",
+    "schedule_to_ops",
     "shrink_schedule",
+    "AtomicMachine",
+    "RefResult",
+    "run_programs_atomic",
+    "run_reference",
+    "DiffReport",
+    "Divergence",
+    "diff_campaign",
+    "diff_workload",
+    "differential_check",
+    "hunt_mutation_escape",
+    "mutation_escape_sweep",
+    "run_differential",
 ]

@@ -1,0 +1,641 @@
+"""Differential conformance harness: detailed simulator vs atomic model.
+
+The driver replays one schedule on both machines and compares everything
+the paper makes claims about:
+
+* **memory** — the detailed machine's flushed final image must equal the
+  atomic model's byte-for-byte (FSLite's SAM byte-merge must reconstruct
+  exactly what a conventional machine produces);
+* **verdicts** — every flagged/privatized block must be one at least two
+  cores really accessed (IC > 0 requires a second requesting core, so a
+  single-core flag is unsound);
+* **mode purity** — FSDetect is stats-only: zero privatizations, no PRV
+  states anywhere, none of the privatization message vocabulary on the
+  wire; baseline MESI additionally sends no metadata messages;
+* **metadata** — SAM last-writers/readers and PAM read/write bits must be
+  sub-approximations of the ground-truth access sets (detection hardware
+  may forget accesses, never invent them);
+* **counters** — FC/IC within ``counter_max``, HC within
+  ``hysteresis_max`` (the 7-/2-bit fields of Figure 5c).
+
+On top of the per-mode checks, :func:`run_differential` adds the
+*metamorphic cross-mode* oracle: baseline vs FSDetect vs FSLite replay the
+identical op stream, so their final memory images must agree byte-for-byte
+regardless of how detection or privatization interleaved the traffic.
+
+:func:`diff_campaign` drives seeded random campaigns with ddmin shrinking
+(:func:`repro.check.fuzz.shrink_schedule` — every sub-schedule is a valid
+program, and the atomic reference recomputes its expected outcome from
+scratch), and :func:`hunt_mutation_escape` demonstrates the oracle has
+teeth: each seeded protocol mutation of :mod:`repro.check.mutations` is
+caught by the differential comparison *alone* — no sanitizer, no embedded
+load assertions — and shrunk to a handful of ops.
+
+CLI: ``python -m repro diff`` (``--smoke`` is the CI gate).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.check.fuzz import (
+    FAMILIES,
+    FuzzFailure,
+    FuzzOp,
+    _build_programs,
+    fuzz_config,
+    make_schedule,
+    render_schedule,
+    shrink_schedule,
+)
+from repro.check.mutations import MUTATIONS, mutation_context
+from repro.check.refmodel import RefResult, run_programs_atomic, run_reference
+from repro.check.sanitizer import InvariantViolation, Sanitizer
+from repro.coherence.states import DirState, L1State, ProtocolMode
+from repro.common.config import SystemConfig
+from repro.common.errors import ReproError
+from repro.common.statkeys import SLICE_PRIVATIZATIONS
+from repro.interconnect.message import FSLITE_TYPES, MessageType
+from repro.system.builder import Machine, build_machine
+from repro.system.simulator import Simulator, flush_machine_memory
+
+#: Message types only the FSLite privatization engine may ever send.
+PRV_TYPES = frozenset(FSLITE_TYPES - {MessageType.REP_MD,
+                                      MessageType.PHANTOM_MD})
+
+
+@dataclass
+class Divergence:
+    """One disagreement between the detailed machine and the reference."""
+
+    kind: str  # memory | verdict | mode-purity | sam | pam | counter |
+    #          # cross-mode | run | workload-verify
+    mode: Optional[ProtocolMode]
+    block: Optional[int]
+    detail: str
+
+    def describe(self) -> str:
+        where = f" block {self.block:#x}" if self.block is not None else ""
+        mode = f" [{self.mode.value}]" if self.mode is not None else ""
+        return f"{self.kind}{mode}{where}: {self.detail}"
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one differential comparison."""
+
+    divergences: List[Divergence] = field(default_factory=list)
+    blocks_compared: int = 0
+    modes_run: List[ProtocolMode] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def describe(self) -> str:
+        if self.ok:
+            return (f"no divergence over {self.blocks_compared} block(s), "
+                    f"modes {[m.value for m in self.modes_run]}")
+        return "\n".join(d.describe() for d in self.divergences)
+
+
+# ------------------------------------------------------------ per-machine
+
+
+def differential_check(
+    machine: Machine,
+    ref: RefResult,
+    image=None,
+    check_memory: bool = True,
+    check_verdicts: bool = True,
+    check_mode_purity: bool = True,
+    check_metadata: bool = True,
+    check_counters: bool = True,
+) -> DiffReport:
+    """Compare one finished detailed machine against the atomic reference.
+
+    Pure post-run inspection: reads the machine's caches, SAM/PAM tables,
+    counters and network accounting, never perturbing them, so it can be
+    layered onto any existing run (the fuzzer's, the chaos driver's, a
+    hand-built one).  Under fault injection disable ``check_verdicts`` and
+    ``check_counters``: faults may legitimately corrupt detection accuracy
+    and counter state — but never memory or the metadata subset property.
+    """
+    mode = machine.mode
+    report = DiffReport(modes_run=[mode])
+    out = report.divergences
+    if image is None:
+        image = flush_machine_memory(machine)
+
+    if check_memory:
+        for block in ref.blocks():
+            want = ref.image.get(block)
+            got = bytes(image.get(block))
+            report.blocks_compared += 1
+            if got != want:
+                byte = next(i for i in range(len(want)) if got[i] != want[i])
+                out.append(Divergence(
+                    "memory", mode, block,
+                    f"byte {byte}: machine {got[byte]:#04x} != "
+                    f"reference {want[byte]:#04x}"))
+
+    detectors = [sl.detector for sl in machine.slices
+                 if sl.detector is not None]
+
+    if check_verdicts:
+        multi = ref.multi_core_blocks()
+        for detector in detectors:
+            for rep in detector.reports:
+                if rep.block_addr not in multi:
+                    out.append(Divergence(
+                        "verdict", mode, rep.block_addr,
+                        f"flagged (privatized={rep.privatized}) but only "
+                        f"one core ever accessed the block"))
+        for sl in machine.slices:
+            for entry in sl.llc.iter_valid():
+                if entry.payload.state == DirState.PRV:
+                    addr = sl.llc.addr_of(entry)
+                    if addr not in multi:
+                        out.append(Divergence(
+                            "verdict", mode, addr,
+                            "left privatized but single-core"))
+
+    if check_mode_purity and mode is not ProtocolMode.FSLITE:
+        stats = machine.network.stats
+        forbidden = (FSLITE_TYPES if mode is ProtocolMode.MESI
+                     else PRV_TYPES)
+        for mtype in sorted(forbidden, key=lambda t: t.value):
+            count = stats.count_of_type(mtype)
+            if count:
+                out.append(Divergence(
+                    "mode-purity", mode, None,
+                    f"{count} {mtype.name} message(s) under "
+                    f"{mode.value}"))
+        privatizations = sum(sl.stats.get(SLICE_PRIVATIZATIONS, 0)
+                             for sl in machine.slices)
+        if privatizations:
+            out.append(Divergence(
+                "mode-purity", mode, None,
+                f"{privatizations} privatization(s) under {mode.value}"))
+        for l1 in machine.l1s:
+            for entry in l1.cache.iter_valid():
+                if entry.payload.state == L1State.PRV:
+                    out.append(Divergence(
+                        "mode-purity", mode, l1.cache.addr_of(entry),
+                        f"L1[{l1.core_id}] line in PRV under "
+                        f"{mode.value}"))
+        for sl in machine.slices:
+            for entry in sl.llc.iter_valid():
+                if entry.payload.state == DirState.PRV:
+                    out.append(Divergence(
+                        "mode-purity", mode, sl.llc.addr_of(entry),
+                        f"directory entry in PRV under {mode.value}"))
+
+    if check_metadata:
+        for detector in detectors:
+            for block in detector.sam.resident_blocks():
+                entry = detector.sam.peek(block)
+                truth = ref.truth.get(block)
+                for granule in range(entry.num_granules):
+                    writer = entry.last_writer[granule]
+                    if writer is None:
+                        pass
+                    elif truth is None or writer not in truth.writers[granule]:
+                        out.append(Divergence(
+                            "sam", mode, block,
+                            f"granule {granule}: SAM last writer "
+                            f"{writer} never wrote it"))
+                    true_readers = (truth.readers[granule]
+                                    if truth is not None else set())
+                    bogus = entry.reader_cores(granule) - true_readers
+                    if bogus:
+                        out.append(Divergence(
+                            "sam", mode, block,
+                            f"granule {granule}: SAM readers {sorted(bogus)} "
+                            f"never read it"))
+        for l1 in machine.l1s:
+            core = l1.core_id
+            for block in l1.pam.resident_blocks():
+                entry = l1.pam.get(block)
+                truth = ref.truth.get(block)
+                true_r = truth.read_bits.get(core, 0) if truth else 0
+                true_w = truth.write_bits.get(core, 0) if truth else 0
+                if entry.write_bits & ~true_w:
+                    out.append(Divergence(
+                        "pam", mode, block,
+                        f"core {core}: PAM write bits "
+                        f"{entry.write_bits:#x} not within true writes "
+                        f"{true_w:#x}"))
+                if entry.read_bits & ~true_r:
+                    out.append(Divergence(
+                        "pam", mode, block,
+                        f"core {core}: PAM read bits "
+                        f"{entry.read_bits:#x} not within true reads "
+                        f"{true_r:#x}"))
+
+    if check_counters:
+        for detector in detectors:
+            for block, meta in sorted(detector.counter_metas().items()):
+                if not 0 <= meta.fc <= meta.counter_max:
+                    out.append(Divergence(
+                        "counter", mode, block,
+                        f"FC={meta.fc} outside [0, {meta.counter_max}]"))
+                if not 0 <= meta.ic <= meta.counter_max:
+                    out.append(Divergence(
+                        "counter", mode, block,
+                        f"IC={meta.ic} outside [0, {meta.counter_max}]"))
+                if not 0 <= meta.hc <= meta.hysteresis_max:
+                    out.append(Divergence(
+                        "counter", mode, block,
+                        f"HC={meta.hc} outside [0, {meta.hysteresis_max}]"))
+    return report
+
+
+# ------------------------------------------------------------- cross-mode
+
+
+def _run_detailed(
+    schedule: List[FuzzOp],
+    mode: ProtocolMode,
+    num_threads: int,
+    config: SystemConfig,
+    mutation: Optional[str],
+    sanitize: bool,
+    max_events: int,
+) -> Tuple[Machine, Optional[FuzzFailure]]:
+    """Execute a schedule on the detailed simulator with assertion-free
+    programs (the differential oracle is the only judge); never raises for
+    protocol failures."""
+    with mutation_context(mutation):
+        machine = build_machine(config, mode)
+        programs, _ = _build_programs(schedule, num_threads, config,
+                                      check_loads=False)
+        machine.attach_programs(programs)
+        sanitizer = Sanitizer(machine) if sanitize else None
+        try:
+            if sanitizer is not None:
+                sanitizer.attach()
+            try:
+                Simulator(machine, max_events=max_events).run()
+                if sanitizer is not None:
+                    sanitizer.check_all()
+            except InvariantViolation as exc:
+                return machine, FuzzFailure(
+                    "invariant", type(exc).__name__, str(exc))
+            except (ReproError, AssertionError) as exc:
+                return machine, FuzzFailure(
+                    "run", type(exc).__name__, str(exc))
+        finally:
+            if sanitizer is not None:
+                sanitizer.detach()
+    return machine, None
+
+
+def run_differential(
+    schedule: List[FuzzOp],
+    modes: Optional[List[ProtocolMode]] = None,
+    num_threads: int = 4,
+    config: Optional[SystemConfig] = None,
+    mutation: Optional[str] = None,
+    sanitize: bool = False,
+    check_verdicts: bool = True,
+    check_counters: bool = True,
+    max_events: int = 5_000_000,
+) -> DiffReport:
+    """Replay one schedule on every requested mode and on the atomic
+    reference; compare each machine against the reference and the modes
+    against each other (metamorphic: same op stream, so the final images
+    must agree byte-for-byte).
+
+    The reference executes the *unmutated* specification even when
+    ``mutation`` is set — that is the point: the mutated detailed machine
+    must diverge from it.
+    """
+    modes = list(modes or ProtocolMode)
+    config = config or fuzz_config(num_threads)
+    ref = run_reference(schedule, num_threads, config)
+    report = DiffReport(modes_run=list(modes))
+    images: List[Tuple[ProtocolMode, object]] = []
+    for mode in modes:
+        machine, failure = _run_detailed(
+            schedule, mode, num_threads, config, mutation, sanitize,
+            max_events)
+        if failure is not None:
+            report.divergences.append(Divergence(
+                "run", mode, None, failure.describe()))
+            continue
+        image = flush_machine_memory(machine)
+        images.append((mode, image))
+        per_mode = differential_check(
+            machine, ref, image=image,
+            check_verdicts=check_verdicts,
+            check_counters=check_counters)
+        report.divergences.extend(per_mode.divergences)
+        report.blocks_compared += per_mode.blocks_compared
+    if len(images) >= 2:
+        base_mode, base_image = images[0]
+        for mode, image in images[1:]:
+            for block in ref.blocks():
+                a = bytes(base_image.get(block))
+                b = bytes(image.get(block))
+                if a != b:
+                    byte = next(i for i in range(len(a)) if a[i] != b[i])
+                    report.divergences.append(Divergence(
+                        "cross-mode", mode, block,
+                        f"byte {byte}: {mode.value} {b[byte]:#04x} != "
+                        f"{base_mode.value} {a[byte]:#04x}"))
+    return report
+
+
+# --------------------------------------------------------------- campaign
+
+
+@dataclass
+class DiffFinding:
+    """One diverging campaign schedule, shrunk and rendered."""
+
+    case_seed: int
+    family: str
+    modes: List[ProtocolMode]
+    mutation: Optional[str]
+    detail: str
+    schedule: List[FuzzOp]
+    shrunk: List[FuzzOp]
+    repro_source: str
+
+
+@dataclass
+class DiffCampaignResult:
+    iterations: int
+    findings: List[DiffFinding] = field(default_factory=list)
+    blocks_compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def render_diff_repro(
+    schedule: List[FuzzOp],
+    modes: List[ProtocolMode],
+    mutation: Optional[str],
+    detail: str,
+    case_seed: Optional[int] = None,
+) -> str:
+    """Render a diverging schedule as a ready-to-paste pytest case (fails
+    while the divergence exists, goes green once fixed)."""
+    name_bits = [m.value for m in modes]
+    if mutation:
+        name_bits.append(mutation.replace("-", "_"))
+    if case_seed is not None:
+        name_bits.append(f"seed{case_seed}")
+    name = "test_diff_repro_" + "_".join(name_bits)
+    mode_list = ", ".join(f"ProtocolMode.{m.name}" for m in modes)
+    mutation_arg = f",\n        mutation={mutation!r}" if mutation else ""
+    first_line = detail.splitlines()[0] if detail else ""
+    header = (f"# Shrunk from a {len(schedule)}-op diverging schedule.\n"
+              f"# Divergence: {first_line}")
+    return f'''{header}
+from repro.check.diff import run_differential
+from repro.check.fuzz import FuzzOp
+from repro.coherence.states import ProtocolMode
+
+
+def {name}():
+    schedule = [
+{render_schedule(schedule)}
+    ]
+    report = run_differential(
+        schedule, modes=[{mode_list}]{mutation_arg})
+    assert report.ok, report.describe()
+'''
+
+
+def diff_campaign(
+    iterations: int = 30,
+    seed: int = 0,
+    modes: Optional[List[ProtocolMode]] = None,
+    families: Optional[List[str]] = None,
+    num_threads: int = 4,
+    num_lines: int = 3,
+    length: int = 80,
+    mutation: Optional[str] = None,
+    shrink: bool = True,
+    shrink_budget: int = 400,
+    progress: Optional[Callable[[int, str, DiffReport], None]] = None,
+) -> DiffCampaignResult:
+    """Run ``iterations`` random schedules through the full differential
+    oracle (every mode, cross-mode metamorphic comparison); shrink and
+    render any divergence.  Fully deterministic for a given ``seed``."""
+    modes = list(modes or ProtocolMode)
+    families = list(families or FAMILIES)
+    rng = random.Random(seed)
+    result = DiffCampaignResult(iterations=iterations)
+    for index in range(iterations):
+        case_seed = rng.randrange(1 << 32)
+        family = families[index % len(families)]
+        schedule = make_schedule(
+            family, random.Random(case_seed), num_threads=num_threads,
+            num_lines=num_lines, length=length)
+        report = run_differential(schedule, modes=modes,
+                                  num_threads=num_threads,
+                                  mutation=mutation)
+        result.blocks_compared += report.blocks_compared
+        if progress is not None:
+            progress(index, family, report)
+        if report.ok:
+            continue
+        shrunk = schedule
+        if shrink:
+            def still_fails(candidate: List[FuzzOp]) -> bool:
+                return not run_differential(
+                    candidate, modes=modes, num_threads=num_threads,
+                    mutation=mutation).ok
+            shrunk = shrink_schedule(schedule, still_fails,
+                                     budget=shrink_budget)
+        final = run_differential(shrunk, modes=modes,
+                                 num_threads=num_threads,
+                                 mutation=mutation)
+        detail = (final if not final.ok else report).describe()
+        result.findings.append(DiffFinding(
+            case_seed=case_seed, family=family, modes=list(modes),
+            mutation=mutation, detail=detail, schedule=schedule,
+            shrunk=shrunk,
+            repro_source=render_diff_repro(
+                shrunk, modes, mutation, detail, case_seed=case_seed)))
+    return result
+
+
+# ------------------------------------------------------- mutation escapes
+
+
+#: Where each seeded protocol bug is most readily provoked: the schedule
+#: family that exercises the broken mechanism and the single mode to run.
+MUTATION_PROBES: Dict[str, Tuple[str, ProtocolMode]] = {
+    "merge-drop-granule": ("mixed", ProtocolMode.FSLITE),
+    "chk-write-always-passes": ("mixed", ProtocolMode.FSLITE),
+    "pam-reads-count-as-writes": ("disjoint", ProtocolMode.FSDETECT),
+    "sam-drops-writes": ("disjoint", ProtocolMode.FSLITE),
+}
+
+COUNTER_MUTATION = "counters-never-saturate"
+
+
+def counter_probe_config() -> SystemConfig:
+    """A single-core machine with 2-bit-sized counters and the periodic
+    metadata reset disabled, so the *only* thing bounding FC is the
+    saturation reset the mutation removes."""
+    return fuzz_config(1).with_protocol(
+        counter_max=3, tau_r1=1, tau_r2=3, use_metadata_reset=False)
+
+
+def counter_probe_schedule() -> List[FuzzOp]:
+    """Seven ops that make one block's FC reach 4: load, evict (re-fetch
+    pressure), three times over, then a final load.  Each post-eviction
+    load is an LLC GET, so FC counts 4 — past ``counter_max=3`` unless the
+    saturation reset fires."""
+    ops: List[FuzzOp] = []
+    for _ in range(3):
+        ops.append(FuzzOp(0, "load", 0, 0, 8))
+        ops.append(FuzzOp(0, "evict", 0))
+    ops.append(FuzzOp(0, "load", 0, 0, 8))
+    return ops
+
+
+@dataclass
+class MutationEscape:
+    """Did the differential oracle alone catch one seeded protocol bug?"""
+
+    mutation: str
+    caught: bool
+    mode: Optional[ProtocolMode] = None
+    family: Optional[str] = None
+    case_seed: Optional[int] = None
+    attempts: int = 0
+    detail: str = ""
+    schedule: List[FuzzOp] = field(default_factory=list)
+    shrunk: List[FuzzOp] = field(default_factory=list)
+
+
+def hunt_mutation_escape(
+    mutation: str,
+    seed: int = 0,
+    max_attempts: int = 40,
+    num_threads: int = 4,
+    length: int = 60,
+    shrink: bool = True,
+    shrink_budget: int = 400,
+) -> MutationEscape:
+    """Find (and shrink) a schedule on which the differential oracle alone
+    — no sanitizer, no in-program load assertions — catches ``mutation``.
+
+    Deterministic for a given ``seed``.  The counter mutation needs its own
+    probe: under the default 7-bit ``counter_max`` no ≤10-op schedule can
+    overflow a counter, so it runs on :func:`counter_probe_config`.
+    """
+    if mutation == COUNTER_MUTATION:
+        config = counter_probe_config()
+        schedule = counter_probe_schedule()
+        mode, family, threads = ProtocolMode.FSDETECT, "n/a", 1
+        candidates = [(0, schedule)]
+    else:
+        family, mode = MUTATION_PROBES[mutation]
+        config, threads = None, num_threads
+        rng = random.Random(seed)
+        candidates = []
+        for _ in range(max_attempts):
+            case_seed = rng.randrange(1 << 32)
+            candidates.append((case_seed, make_schedule(
+                family, random.Random(case_seed), num_threads=threads,
+                length=length)))
+
+    def diverges(candidate: List[FuzzOp]) -> bool:
+        if not candidate:
+            return False
+        return not run_differential(
+            candidate, modes=[mode], num_threads=threads, config=config,
+            mutation=mutation).ok
+
+    for attempt, (case_seed, schedule) in enumerate(candidates, start=1):
+        if not diverges(schedule):
+            continue
+        shrunk = (shrink_schedule(schedule, diverges, budget=shrink_budget)
+                  if shrink else schedule)
+        detail = run_differential(
+            shrunk, modes=[mode], num_threads=threads, config=config,
+            mutation=mutation).describe()
+        return MutationEscape(
+            mutation=mutation, caught=True, mode=mode, family=family,
+            case_seed=case_seed, attempts=attempt, detail=detail,
+            schedule=schedule, shrunk=shrunk)
+    return MutationEscape(mutation=mutation, caught=False, mode=mode,
+                          family=family, attempts=len(candidates))
+
+
+def mutation_escape_sweep(
+    seed: int = 0,
+    shrink_budget: int = 400,
+    progress: Optional[Callable[[MutationEscape], None]] = None,
+) -> Dict[str, MutationEscape]:
+    """Hunt every seeded mutation; the CI gate demands each is caught and
+    shrunk to at most 10 ops."""
+    out: Dict[str, MutationEscape] = {}
+    for name in sorted(MUTATIONS):
+        escape = hunt_mutation_escape(name, seed=seed,
+                                      shrink_budget=shrink_budget)
+        out[name] = escape
+        if progress is not None:
+            progress(escape)
+    return out
+
+
+# ------------------------------------------------------- workload level
+
+
+def diff_workload(spec, compare_bytes: bool = True) -> DiffReport:
+    """Differential check of one harness :class:`~repro.harness.runner.
+    RunSpec`: execute it on the detailed machine and drive the same
+    workload's generator programs on the atomic machine (fair round-robin).
+
+    Workload schedules race by design, so only two comparisons are sound:
+
+    * the workload's own :meth:`verify` must accept the atomic execution
+      (the reference is a valid outcome of the program), and
+    * granules only ever touched by a single core must match byte-for-byte
+      (their final content is interleaving-independent).
+    """
+    from repro.harness.runner import execute_spec_with_machine
+    from repro.workloads.registry import make_workload
+
+    record, machine = execute_spec_with_machine(spec)
+    workload = make_workload(spec.tag, num_threads=spec.num_threads,
+                             scale=spec.scale, layout=spec.layout,
+                             seed=spec.seed)
+    atomic = run_programs_atomic(workload.programs(), spec.config)
+    report = DiffReport(modes_run=[spec.mode])
+    try:
+        workload.verify(atomic.image())
+    except ReproError as exc:
+        report.divergences.append(Divergence(
+            "workload-verify", spec.mode, None, str(exc)))
+    if compare_bytes:
+        image = flush_machine_memory(machine)
+        gran = atomic.granularity
+        for block in atomic.blocks():
+            pairs = atomic.single_accessor_granules(block)
+            if not pairs:
+                continue
+            want = atomic.image().get(block)
+            got = bytes(image.get(block))
+            report.blocks_compared += 1
+            for granule, core in pairs:
+                lo = granule * gran
+                if got[lo:lo + gran] != want[lo:lo + gran]:
+                    report.divergences.append(Divergence(
+                        "memory", spec.mode, block,
+                        f"single-accessor granule {granule} (core {core}): "
+                        f"machine {got[lo:lo + gran].hex()} != reference "
+                        f"{want[lo:lo + gran].hex()}"))
+    return report

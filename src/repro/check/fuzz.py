@@ -6,9 +6,11 @@ the online sanitizer attached, and checks three failure channels:
 
 1. the run itself (invariant violations, protocol errors, deadlocks, and
    in-program load-value assertions),
-2. the sanitizer's final full pass (``check_all``), and
+2. the sanitizer's final full pass (``check_all``),
 3. the flushed final memory image against a reference computed from the
-   schedule alone.
+   schedule alone, and
+4. (opt-in, ``differential=True``) a full differential comparison against
+   the atomic reference model of :mod:`repro.check.refmodel`.
 
 Reference values are computable for *any* sub-schedule because schedules
 are built from single-writer slots (each thread owns one 8-byte slot per
@@ -75,7 +77,7 @@ class FuzzOp:
 class FuzzFailure:
     """Why a schedule failed."""
 
-    stage: str  # "invariant" | "run" | "final-image"
+    stage: str  # "invariant" | "run" | "final-image" | "differential"
     kind: str   # exception class name, or "mismatch"
     detail: str
 
@@ -202,15 +204,28 @@ def _is_shared(op: FuzzOp, num_threads: int) -> bool:
     return op.offset >= SLOT * num_threads
 
 
-def _build_programs(
+def schedule_to_ops(
     schedule: List[FuzzOp],
     num_threads: int,
     config: SystemConfig,
-) -> Tuple[list, List[Tuple[int, int, str]]]:
-    """Translate a schedule into thread programs plus the expected final
-    image, modelling single-writer slots exactly and shared words as sums.
+    check_loads: bool = True,
+) -> Tuple[List[Tuple[int, Op, Optional[int], str]],
+           List[Tuple[int, int, str]]]:
+    """Translate a schedule into one flat ``(tid, op, expected, label)``
+    stream in schedule order, plus the expected final image, modelling
+    single-writer slots exactly and shared words as sums.
 
-    Returns ``(programs, expectations)`` where each expectation is
+    This is the single schedule→:class:`Op` translation: the detailed
+    simulator's thread programs (:func:`_build_programs`) and the atomic
+    reference model (:mod:`repro.check.refmodel`) both consume it, so the
+    two machines execute the *same* operation footprint by construction.
+
+    ``check_loads=False`` suppresses the expected values of loads and RMWs
+    (every ``expected`` is None), producing assertion-free programs for
+    differential runs that must be judged by an external oracle only.  The
+    :class:`Op` stream is identical either way.
+
+    Returns ``(flat, expectations)`` where each expectation is
     ``(addr, want_value, label)`` for one 8-byte word.
     """
     block = config.block_size
@@ -218,8 +233,7 @@ def _build_programs(
     model: Dict[int, bytearray] = {}
     shared_total: Dict[Tuple[int, int], int] = {}
     evict_seq: Dict[Tuple[int, int], int] = {}
-    per_thread: List[List[Tuple[Op, Optional[int], str]]] = [
-        [] for _ in range(num_threads)]
+    flat: List[Tuple[int, Op, Optional[int], str]] = []
 
     def line_model(line: int) -> bytearray:
         if line not in model:
@@ -229,7 +243,7 @@ def _build_programs(
     for index, fop in enumerate(schedule):
         label = f"op[{index}] {fop.kind} t{fop.tid}"
         if fop.kind == "pause":
-            per_thread[fop.tid].append((compute(fop.value), None, label))
+            flat.append((fop.tid, compute(fop.value), None, label))
             continue
         if fop.kind == "evict":
             # Loads to never-written private lines that conflict-map to the
@@ -241,35 +255,38 @@ def _build_programs(
             for k in range(ways):
                 slot = 1 + (fop.tid * 64 + seq) * ways + k
                 addr = base + slot * set_span
-                per_thread[fop.tid].append(
-                    (load(addr, size=SLOT), 0, f"{label} pressure#{k}"))
+                flat.append((fop.tid, load(addr, size=SLOT),
+                             0 if check_loads else None,
+                             f"{label} pressure#{k}"))
             continue
         addr = BASE + fop.line * block + fop.offset
         data = line_model(fop.line)
         lo, hi = fop.offset, fop.offset + fop.size
         if fop.kind == "store":
             data[lo:hi] = fop.value.to_bytes(fop.size, "little")
-            per_thread[fop.tid].append(
-                (store(addr, fop.value, size=fop.size), None, label))
+            flat.append((fop.tid, store(addr, fop.value, size=fop.size),
+                         None, label))
         elif fop.kind == "rmw":
             if _is_shared(fop, num_threads):
                 key = (fop.line, fop.offset)
                 shared_total[key] = shared_total.get(key, 0) + fop.value
-                per_thread[fop.tid].append(
-                    (fetch_add(addr, fop.value, size=fop.size), None, label))
+                flat.append((fop.tid,
+                             fetch_add(addr, fop.value, size=fop.size),
+                             None, label))
             else:
                 old = int.from_bytes(data[lo:hi], "little")
                 new = (old + fop.value) & ((1 << (8 * fop.size)) - 1)
                 data[lo:hi] = new.to_bytes(fop.size, "little")
-                per_thread[fop.tid].append(
-                    (fetch_add(addr, fop.value, size=fop.size), old, label))
+                flat.append((fop.tid,
+                             fetch_add(addr, fop.value, size=fop.size),
+                             old if check_loads else None, label))
         else:  # load
-            if _is_shared(fop, num_threads):
-                expected = None  # racing adds: value not predictable
-            else:
+            if check_loads and not _is_shared(fop, num_threads):
                 expected = int.from_bytes(data[lo:hi], "little")
-            per_thread[fop.tid].append(
-                (load(addr, size=fop.size), expected, label))
+            else:
+                expected = None  # racing adds: value not predictable
+            flat.append((fop.tid, load(addr, size=fop.size), expected,
+                         label))
 
     expectations: List[Tuple[int, int, str]] = []
     for line, data in sorted(model.items()):
@@ -282,6 +299,27 @@ def _build_programs(
                 want = int.from_bytes(data[off:off + SLOT], "little")
             expectations.append(
                 (base + off, want, f"line {line} offset {off}"))
+    return flat, expectations
+
+
+def _build_programs(
+    schedule: List[FuzzOp],
+    num_threads: int,
+    config: SystemConfig,
+    check_loads: bool = True,
+) -> Tuple[list, List[Tuple[int, int, str]]]:
+    """Translate a schedule into thread programs plus the expected final
+    image (see :func:`schedule_to_ops` for the model and ``check_loads``).
+
+    Returns ``(programs, expectations)`` where each expectation is
+    ``(addr, want_value, label)`` for one 8-byte word.
+    """
+    flat, expectations = schedule_to_ops(
+        schedule, num_threads, config, check_loads=check_loads)
+    per_thread: List[List[Tuple[Op, Optional[int], str]]] = [
+        [] for _ in range(num_threads)]
+    for tid, op, expected, label in flat:
+        per_thread[tid].append((op, expected, label))
 
     def make_program(items):
         def program():
@@ -304,13 +342,24 @@ def run_schedule(
     sanitize: bool = True,
     mutation: Optional[str] = None,
     max_events: int = 5_000_000,
+    differential: bool = False,
+    check_loads: bool = True,
 ) -> FuzzReport:
-    """Execute one schedule; never raises for protocol failures."""
+    """Execute one schedule; never raises for protocol failures.
+
+    ``differential=True`` additionally replays the schedule on the atomic
+    reference model (:mod:`repro.check.refmodel`) and compares final memory,
+    detection verdicts, metadata attribution and counter bounds
+    (:func:`repro.check.diff.differential_check`); a divergence fails the
+    report with stage ``"differential"``.  ``check_loads=False`` builds
+    assertion-free programs (same op stream) so failures can only come from
+    external oracles.
+    """
     config = config or fuzz_config(num_threads)
     with mutation_context(mutation):
         machine = build_machine(config, mode)
         programs, expectations = _build_programs(
-            schedule, num_threads, config)
+            schedule, num_threads, config, check_loads=check_loads)
         machine.attach_programs(programs)
         sanitizer = Sanitizer(machine) if sanitize else None
         try:
@@ -339,6 +388,17 @@ def run_schedule(
                 return FuzzReport(False, FuzzFailure(
                     "final-image", "mismatch",
                     f"{label}: final value {got:#x}, expected {want:#x}"))
+        if differential:
+            # Imported lazily: repro.check.diff imports this module.
+            from repro.check.diff import differential_check
+            from repro.check.refmodel import run_reference
+
+            ref = run_reference(schedule, num_threads, config)
+            diff = differential_check(machine, ref)
+            if diff.divergences:
+                first = diff.divergences[0]
+                return FuzzReport(False, FuzzFailure(
+                    "differential", first.kind, first.detail))
         return FuzzReport(
             True, cycles=result.cycles,
             blocks_checked=sanitizer.blocks_checked if sanitizer else 0)
@@ -467,12 +527,15 @@ def fuzz_campaign(
     mutation: Optional[str] = None,
     shrink: bool = True,
     shrink_budget: int = 400,
+    differential: bool = False,
     progress: Optional[Callable[[int, str, ProtocolMode, FuzzReport],
                                 None]] = None,
 ) -> CampaignResult:
     """Run ``iterations`` random schedules; shrink and render any failure.
 
-    Fully deterministic for a given ``seed`` and parameter set.
+    ``differential=True`` adds the atomic-reference-model oracle to every
+    run (including shrink re-executions).  Fully deterministic for a given
+    ``seed`` and parameter set.
     """
     modes = modes or list(ProtocolMode)
     families = families or list(FAMILIES)
@@ -486,7 +549,7 @@ def fuzz_campaign(
             family, random.Random(case_seed), num_threads=num_threads,
             num_lines=num_lines, length=length)
         report = run_schedule(schedule, mode=mode, num_threads=num_threads,
-                              mutation=mutation)
+                              mutation=mutation, differential=differential)
         if progress is not None:
             progress(index, family, mode, report)
         if report.ok:
@@ -496,11 +559,11 @@ def fuzz_campaign(
             def still_fails(candidate: List[FuzzOp]) -> bool:
                 return not run_schedule(
                     candidate, mode=mode, num_threads=num_threads,
-                    mutation=mutation).ok
+                    mutation=mutation, differential=differential).ok
             shrunk = shrink_schedule(schedule, still_fails,
                                      budget=shrink_budget)
         final = run_schedule(shrunk, mode=mode, num_threads=num_threads,
-                             mutation=mutation)
+                             mutation=mutation, differential=differential)
         failure = final.failure or report.failure
         result.findings.append(FuzzFinding(
             case_seed=case_seed, family=family, mode=mode,

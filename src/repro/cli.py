@@ -18,6 +18,15 @@
   every faulted run must stay sanitizer-clean and is compared against its
   fault-free twin (graceful degradation); failures shrink to scripted
   fault plans rendered as pytest repros.
+* ``diff`` — differential conformance campaigns: replay random schedules
+  on the detailed simulator under every protocol mode *and* on the atomic
+  reference model (:mod:`repro.check.refmodel`), comparing final memory
+  images, detection verdicts, metadata and cross-mode agreement; any
+  divergence is ddmin-shrunk to a pytest repro.  ``--workload TAG``
+  instead checks one harness workload against the reference.  ``--smoke``
+  is the CI gate: ≥50 seeded schedules × 3 modes with zero divergences,
+  plus every seeded protocol mutation caught by the differential oracle
+  alone and shrunk to ≤10 ops.
 * ``profile`` — run one workload under cProfile and print the hottest
   functions (the profiling companion to ``benchmarks/bench_kernel.py``).
 * ``trace <tag|experiment>`` — run one workload with the observability
@@ -156,6 +165,9 @@ def _parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--shrink-budget", type=int, default=400,
                         metavar="N", help="max schedule re-executions the "
                                           "shrinker may spend (default 400)")
+    fuzz_p.add_argument("--differential", action="store_true",
+                        help="additionally judge every schedule against "
+                             "the atomic reference model (repro.check.diff)")
     fuzz_p.add_argument("--smoke", action="store_true",
                         help="small fixed CI campaign (one 40-op schedule "
                              "per mode x family pair)")
@@ -199,6 +211,11 @@ def _parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="max re-executions the shrinker may spend "
                               "(default 250)")
+    chaos_p.add_argument("--differential", action="store_true",
+                         help="additionally judge every faulted run's "
+                              "memory/metadata against the atomic "
+                              "reference model (verdict and counter "
+                              "checks stay off: faults may corrupt those)")
     chaos_p.add_argument("--smoke", action="store_true",
                          help="small fixed CI campaign (one 40-op case per "
                               "mode x fault-family pair; also requires "
@@ -207,6 +224,52 @@ def _parser() -> argparse.ArgumentParser:
                          help="write generated pytest repros to PATH")
     chaos_p.add_argument("--quiet", action="store_true",
                          help="suppress per-case progress output")
+
+    diff_p = sub.add_parser(
+        "diff", help="differential conformance campaigns against the "
+                     "atomic reference model")
+    diff_p.add_argument("--iterations", type=int, default=30, metavar="N",
+                        help="number of random schedules, each replayed on "
+                             "every selected mode (default 30)")
+    diff_p.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; same seed, same campaign")
+    diff_p.add_argument("--protocol", default="all",
+                        choices=["all"] + [m.value for m in ProtocolMode],
+                        help="protocol mode(s) to compare (default all; "
+                             "cross-mode checks need at least two)")
+    diff_p.add_argument("--family", default="all",
+                        choices=["all"] + list(FAMILIES),
+                        help="schedule family (default all)")
+    diff_p.add_argument("--mutate", metavar="NAME", default=None,
+                        choices=sorted(MUTATIONS),
+                        help="inject a known protocol mutation (the "
+                             "campaign should then find divergences)")
+    diff_p.add_argument("--workload", metavar="TAG", default=None,
+                        choices=sorted(REGISTRY),
+                        help="instead of random schedules, differentially "
+                             "check one harness workload under every "
+                             "selected mode")
+    diff_p.add_argument("--scale", type=float, default=0.5,
+                        help="workload scale for --workload (default 0.5)")
+    diff_p.add_argument("--threads", type=int, default=4)
+    diff_p.add_argument("--lines", type=int, default=3,
+                        help="distinct cache lines per schedule (default 3)")
+    diff_p.add_argument("--length", type=int, default=80,
+                        help="ops per schedule (default 80)")
+    diff_p.add_argument("--no-shrink", action="store_true",
+                        help="report raw diverging schedules without "
+                             "delta-debugging them")
+    diff_p.add_argument("--shrink-budget", type=int, default=400,
+                        metavar="N", help="max schedule re-executions the "
+                                          "shrinker may spend (default 400)")
+    diff_p.add_argument("--smoke", action="store_true",
+                        help="CI gate: 51 seeded 40-op schedules x 3 modes "
+                             "with zero divergences, plus every seeded "
+                             "mutation caught and shrunk to <=10 ops")
+    diff_p.add_argument("--out", metavar="PATH",
+                        help="write generated pytest repros to PATH")
+    diff_p.add_argument("--quiet", action="store_true",
+                        help="suppress per-schedule progress output")
 
     prof_p = sub.add_parser("profile", help="profile one workload run "
                                             "under cProfile")
@@ -391,13 +454,15 @@ def _cmd_fuzz(args) -> int:
         num_lines=args.lines,
         length=length,
         mutation=args.mutate,
+        differential=args.differential,
         shrink=not args.no_shrink,
         shrink_budget=args.shrink_budget,
         progress=None if args.quiet else progress,
     )
     if result.ok:
-        print(f"fuzz: {result.iterations} schedule(s), no failures "
-              f"(seed {args.seed})")
+        oracle = " + differential oracle" if args.differential else ""
+        print(f"fuzz: {result.iterations} schedule(s), no failures"
+              f"{oracle} (seed {args.seed})")
         return 0
     print(f"fuzz: {len(result.findings)} failing schedule(s) out of "
           f"{result.iterations} (seed {args.seed})")
@@ -453,6 +518,7 @@ def _cmd_chaos(args) -> int:
         length=length,
         intensity=args.intensity,
         mutation=args.mutate,
+        differential=args.differential,
         shrink=not args.no_shrink,
         shrink_budget=args.shrink_budget,
         progress=None if args.quiet else progress,
@@ -498,6 +564,118 @@ def _cmd_chaos(args) -> int:
         print("\n# --- minimal pytest repro(s) ---\n")
         print(repros)
     return 1
+
+
+def _cmd_diff(args) -> int:
+    from repro.check.diff import (
+        diff_campaign,
+        diff_workload,
+        mutation_escape_sweep,
+    )
+
+    modes = (list(ProtocolMode) if args.protocol == "all"
+             else [ProtocolMode(args.protocol)])
+
+    if args.workload is not None:
+        # Workload-level differential check: detailed machine vs atomic
+        # round-robin execution of the same generator programs.
+        failures = 0
+        for mode in modes:
+            spec = RunSpec(tag=args.workload, mode=mode, scale=args.scale,
+                           num_threads=args.threads, seed=args.seed)
+            report = diff_workload(spec)
+            status = ("ok" if report.ok
+                      else f"DIVERGED\n{report.describe()}")
+            print(f"diff: {args.workload} {mode.value:9s} "
+                  f"{report.blocks_compared} block(s) compared: {status}")
+            failures += 0 if report.ok else 1
+        return 1 if failures else 0
+
+    families = list(FAMILIES) if args.family == "all" else [args.family]
+    iterations, length = args.iterations, args.length
+    if args.smoke:
+        # The CI gate: 51 seeded schedules, every one replayed on all
+        # three modes and the atomic reference — then the mutation-escape
+        # sweep proving the oracle catches every seeded protocol bug.
+        modes, families = list(ProtocolMode), list(FAMILIES)
+        iterations, length = 51, 40
+
+    def progress(i, family, report):
+        status = ("ok" if report.ok
+                  else report.divergences[0].describe())
+        print(f"[{i + 1}/{iterations}] {family:9s} "
+              f"{report.blocks_compared:3d} block(s) {status}",
+              file=sys.stderr)
+
+    result = diff_campaign(
+        iterations=iterations,
+        seed=args.seed,
+        modes=modes,
+        families=families,
+        num_threads=args.threads,
+        num_lines=args.lines,
+        length=length,
+        mutation=args.mutate,
+        shrink=not args.no_shrink,
+        shrink_budget=args.shrink_budget,
+        progress=None if args.quiet else progress,
+    )
+    exit_code = 0
+    if result.ok:
+        print(f"diff: {result.iterations} schedule(s) x "
+              f"{len(modes)} mode(s), {result.blocks_compared} block "
+              f"comparison(s), no divergence (seed {args.seed})")
+    else:
+        exit_code = 1
+        print(f"diff: {len(result.findings)} diverging schedule(s) out of "
+              f"{result.iterations} (seed {args.seed})")
+        sources = []
+        for f in result.findings:
+            print(f"\ncase seed {f.case_seed}: {f.family}"
+                  + (f" +{f.mutation}" if f.mutation else ""))
+            print(f"  {f.detail.splitlines()[0]}")
+            print(f"  schedule: {len(f.schedule)} op(s), "
+                  f"shrunk to {len(f.shrunk)}")
+            sources.append(f.repro_source)
+        repros = "\n\n".join(sources)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(repros + "\n")
+            print(f"\npytest repro(s) written to {args.out}")
+        else:
+            print("\n# --- minimal pytest repro(s) ---\n")
+            print(repros)
+    if args.smoke:
+        # Second half of the gate: the oracle must have teeth.  Every
+        # seeded mutation caught by the differential comparison alone,
+        # shrunk to a handful of ops.
+        def show(escape):
+            if escape.caught:
+                status = (f"caught in {len(escape.shrunk)} op(s) "
+                          f"({escape.detail.splitlines()[0]})")
+            else:
+                status = f"ESCAPED after {escape.attempts} attempt(s)"
+            print(f"diff: mutation {escape.mutation:28s} {status}",
+                  file=sys.stderr)
+
+        sweep = mutation_escape_sweep(
+            seed=args.seed, progress=None if args.quiet else show)
+        escaped = sorted(name for name, e in sweep.items() if not e.caught)
+        oversize = sorted(name for name, e in sweep.items()
+                          if e.caught and len(e.shrunk) > 10)
+        if escaped or oversize:
+            if escaped:
+                print(f"diff: error: mutation(s) escaped the differential "
+                      f"oracle: {', '.join(escaped)}", file=sys.stderr)
+            if oversize:
+                print(f"diff: error: mutation repro(s) not shrunk to <=10 "
+                      f"ops: {', '.join(oversize)}", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"diff: all {len(sweep)} seeded mutation(s) caught by "
+                  f"the differential oracle alone, each shrunk to "
+                  f"<=10 ops")
+    return exit_code
 
 
 def _cmd_profile(args) -> int:
@@ -601,6 +779,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "fuzz": _cmd_fuzz,
         "chaos": _cmd_chaos,
+        "diff": _cmd_diff,
         "profile": _cmd_profile,
         "trace": _cmd_trace,
         "list": _cmd_list,

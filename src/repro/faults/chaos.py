@@ -86,9 +86,18 @@ def run_chaos_case(
     sanitize: bool = True,
     mutation: Optional[str] = None,
     max_events: int = 5_000_000,
+    differential: bool = False,
 ) -> ChaosRunReport:
     """Execute one schedule under ``plan`` (None = fault-free twin);
-    never raises for protocol failures."""
+    never raises for protocol failures.
+
+    With ``differential`` the atomic reference model additionally judges
+    the final state (:func:`repro.check.diff.differential_check`).  Verdict
+    and counter checks stay off — faults may legitimately corrupt detection
+    accuracy — but memory bytes, the metadata subset property and mode
+    purity must survive arbitrary fault injection (the paper's claim that
+    faults degrade detection, never correctness).
+    """
     config = config or chaos_config(num_threads, shrunken_sam=shrunken_sam)
     with mutation_context(mutation):
         machine = build_machine(config, mode)
@@ -134,6 +143,19 @@ def run_chaos_case(
                 return ChaosRunReport(False, FuzzFailure(
                     "final-image", "mismatch",
                     f"{label}: final value {got:#x}, expected {want:#x}"),
+                    fired=fired)
+        if differential:
+            from repro.check.diff import differential_check
+            from repro.check.refmodel import run_reference
+
+            ref = run_reference(schedule, num_threads, config)
+            diff = differential_check(machine, ref, image=image,
+                                      check_verdicts=False,
+                                      check_counters=False)
+            if diff.divergences:
+                first = diff.divergences[0]
+                return ChaosRunReport(False, FuzzFailure(
+                    "differential", first.kind, first.describe()),
                     fired=fired)
         return ChaosRunReport(True, cycles=result.cycles,
                               stats=result.stats, fired=fired)
@@ -223,6 +245,7 @@ def render_chaos_repro(
     case_seed: int,
     shrunken_sam: bool = False,
     mutation: Optional[str] = None,
+    differential: bool = False,
 ) -> str:
     """Render a failing chaos case as a ready-to-paste pytest case.
 
@@ -239,6 +262,8 @@ def render_chaos_repro(
     extra = ", shrunken_sam=True" if shrunken_sam else ""
     if mutation:
         extra += f", mutation={mutation!r}"
+    if differential:
+        extra += ", differential=True"
     return f'''{header}
 from repro.check.fuzz import FuzzOp
 from repro.coherence.states import ProtocolMode
@@ -266,6 +291,7 @@ def chaos_campaign(
     length: int = 80,
     intensity: float = 1.0,
     mutation: Optional[str] = None,
+    differential: bool = False,
     shrink: bool = True,
     shrink_budget: int = 250,
     progress: Optional[Callable[[int, str, ProtocolMode, ChaosRunReport],
@@ -300,7 +326,7 @@ def chaos_campaign(
             return run_chaos_case(
                 schedule, mode=mode, plan=the_plan,
                 num_threads=num_threads, shrunken_sam=shrunken_sam,
-                mutation=mutation)
+                mutation=mutation, differential=differential)
 
         twin = run(None)
         faulted = run(plan)
@@ -316,7 +342,8 @@ def chaos_campaign(
                 shrunk_events=(),
                 repro_source=render_chaos_repro(
                     schedule, mode, None, twin.failure, case_seed,
-                    shrunken_sam=shrunken_sam, mutation=mutation)))
+                    shrunken_sam=shrunken_sam, mutation=mutation,
+                    differential=differential)))
             continue
         if faulted.ok:
             result.cases.append(ChaosCase(
@@ -348,5 +375,6 @@ def chaos_campaign(
             fired=faulted.fired, shrunk_events=tuple(shrunk),
             repro_source=render_chaos_repro(
                 schedule, mode, repro_plan, faulted.failure, case_seed,
-                shrunken_sam=shrunken_sam, mutation=mutation)))
+                shrunken_sam=shrunken_sam, mutation=mutation,
+                differential=differential)))
     return result

@@ -168,6 +168,16 @@ def execute_spec(spec: RunSpec) -> RunRecord:
     engine calls it (possibly in a worker process) and everything else goes
     through the engine.
     """
+    record, _machine = execute_spec_with_machine(spec)
+    return record
+
+
+def execute_spec_with_machine(spec: RunSpec):
+    """Like :func:`execute_spec` but also returns the finished
+    :class:`~repro.system.builder.Machine` for post-run inspection (the
+    differential oracle reads caches, SAM/PAM tables and network
+    accounting after the run).  Returns ``(record, machine)``.
+    """
     workload = make_workload(spec.tag, num_threads=spec.num_threads,
                              scale=spec.scale, layout=spec.layout,
                              seed=spec.seed)
@@ -225,7 +235,7 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         if sampler is not None:
             obs_payload["metrics"] = sampler.to_dict()
         record.extra["obs"] = obs_payload
-    return record
+    return record, machine
 
 
 def run_workload(

@@ -111,6 +111,11 @@ class NetworkStats:
     def of_class(self, mclass: MessageClass) -> int:
         return self.count.get(mclass, 0)
 
+    def count_of_type(self, mtype: MessageType) -> int:
+        """Messages sent of one exact type (e.g. for asserting a protocol
+        mode never used part of the vocabulary)."""
+        return self._count_by_type[mtype.value]
+
     def as_dict(self) -> Dict[str, int]:
         out = {f"msgs_{c.value}": n for c, n in sorted(
             self.count.items(), key=lambda kv: kv[0].value)}

@@ -76,6 +76,32 @@ def hanging_executor(spec):
     return execute_spec(spec)
 
 
+class RecordingExecutor:
+    """Engine executor that records every spec it executes, optionally
+    injecting failures.
+
+    ``fail_first`` raises on the first call only (the engine must retry);
+    ``always_fail`` raises on every call.  The instance keeps shared state,
+    so it is for in-process (``jobs=1``) engines — the spawn-safe failure
+    injectors for worker processes are :func:`crashing_executor` /
+    :func:`hanging_executor` above.
+    """
+
+    def __init__(self, fail_first: bool = False,
+                 always_fail: bool = False) -> None:
+        self.calls: list = []
+        self.fail_first = fail_first
+        self.always_fail = always_fail
+
+    def __call__(self, spec):
+        from repro.harness.runner import execute_spec
+
+        self.calls.append(spec)
+        if self.always_fail or (self.fail_first and len(self.calls) == 1):
+            raise RuntimeError("injected executor failure")
+        return execute_spec(spec)
+
+
 def memory_image(machine: Machine):
     return flush_machine_memory(machine)
 

@@ -21,6 +21,13 @@ from repro.harness.engine import CODE_VERSION, Engine, EngineError
 from repro.harness.export import records_from_json, records_to_json
 from repro.harness.runner import RunRecord, RunSpec, execute_spec
 
+from _helpers import (
+    POISON_SEED,
+    RecordingExecutor,
+    crashing_executor,
+    hanging_executor,
+)
+
 SCALE = 0.1
 
 
@@ -73,16 +80,11 @@ class TestRunSpec:
 
 class TestDedup:
     def test_duplicates_simulate_once(self):
-        calls = []
-
-        def executor(spec):
-            calls.append(spec)
-            return execute_spec(spec)
-
+        executor = RecordingExecutor()
         engine = Engine(executor=executor)
         spec = RunSpec(tag="ww", scale=SCALE)
         records = engine.run_many([spec, spec, spec])
-        assert len(calls) == 1
+        assert len(executor.calls) == 1
         assert engine.stats["deduped"] == 2
         assert engine.stats["executed"] == 1
         assert records[0] is records[1] is records[2]
@@ -218,7 +220,6 @@ class TestParallel:
         assert second.stats["executed"] == 0
 
     def test_parallel_failure_surfaces_engine_error(self):
-        from _helpers import POISON_SEED, crashing_executor
         bad = RunSpec(tag="ww", scale=SCALE, seed=POISON_SEED)
         engine = Engine(jobs=2, executor=crashing_executor, backoff=0.01)
         with pytest.raises(EngineError) as info:
@@ -230,26 +231,16 @@ class TestParallel:
 
 class TestRetry:
     def test_crash_retried_once_then_succeeds(self):
-        attempts = []
-
-        def flaky(spec):
-            attempts.append(spec)
-            if len(attempts) == 1:
-                raise RuntimeError("simulated worker crash")
-            return execute_spec(spec)
-
+        flaky = RecordingExecutor(fail_first=True)
         engine = Engine(executor=flaky)
         record = engine.run_one(RunSpec(tag="ww", scale=SCALE))
-        assert len(attempts) == 2
+        assert len(flaky.calls) == 2
         assert engine.stats["retries"] == 1
         assert record.cycles > 0
 
     def test_persistent_failure_is_structured(self):
-        def broken(spec):
-            raise RuntimeError("boom")
-
         spec = RunSpec(tag="ww", scale=SCALE)
-        engine = Engine(executor=broken)
+        engine = Engine(executor=RecordingExecutor(always_fail=True))
         with pytest.raises(EngineError) as info:
             engine.run_one(spec)
         err = info.value
@@ -263,7 +254,6 @@ class TestTimeout:
     def test_hung_worker_is_killed_and_batch_completes(self):
         """A hung run is killed at the wall-clock deadline; the rest of
         the batch drains and the error carries the partial results."""
-        from _helpers import POISON_SEED, hanging_executor
         hung = RunSpec(tag="ww", scale=SCALE, seed=POISON_SEED)
         good = RunSpec(tag="ww", scale=SCALE)
         engine = Engine(jobs=2, executor=hanging_executor,
@@ -292,7 +282,6 @@ class TestTimeout:
         assert replay.stats["cache_hits"] == 1
 
     def test_timed_out_spec_is_retried(self):
-        from _helpers import POISON_SEED, hanging_executor
         hung = RunSpec(tag="ww", scale=SCALE, seed=POISON_SEED)
         engine = Engine(executor=hanging_executor, timeout=2.0,
                         retries=1, backoff=0.01)
