@@ -1,0 +1,315 @@
+"""Snapshot/fork and prefix-replay benchmarks.
+
+Tracks the cost and payoff of the deterministic machine snapshot subsystem
+(`system/snapshot.py`), the engine's warm-start fork (`RunSpec.warmup`) and
+the `PrefixReplayCache` wired through shrinking and differential campaigns.
+
+Usage (appends one labelled snapshot to the machine-readable trajectory)::
+
+    python benchmarks/bench_snapshot.py --label my-change
+    python benchmarks/bench_snapshot.py --quick --label ci
+
+Sections:
+
+* ``snapshot_micro`` — dump/restore/digest wall-clock and payload size for
+  a mid-run machine, per workload scale.
+* ``warm_fork`` — the headline: N sweep points forked from one warmup
+  snapshot vs N cold runs of the same spec.  Every fork is asserted
+  cycle-for-cycle and stat-for-stat identical to the cold run, so the
+  speedup is pure prefix-dedup, not behaviour drift.
+* ``shrink_replay`` — ddmin-shrinking each seeded protocol mutation with
+  the replay cache on vs off (median of ``--reps``), asserting *identical
+  shrunk schedules*.  Wall-clock and simulated-event ratios are both
+  recorded: ddmin geometry caps the reachable event ratio at 2× (see
+  docs/PERFORMANCE.md), so this section is a regression tripwire, not a
+  headline.
+* ``diff_smoke`` — the ``repro diff --smoke`` campaign half (seeded
+  schedules × all modes, zero divergences required) timed end to end;
+  compare labelled snapshots across commits for the trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import random
+import statistics
+import sys
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # script run without PYTHONPATH=src
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.check.diff import (
+    COUNTER_MUTATION,
+    MUTATION_PROBES,
+    counter_probe_config,
+    counter_probe_schedule,
+    diff_campaign,
+    run_differential,
+)
+from repro.check.fuzz import fuzz_config, make_schedule, shrink_schedule
+from repro.check.replay import PrefixReplayCache, shrink_evaluator
+from repro.coherence.states import ProtocolMode
+from repro.harness.runner import RunSpec, build_warm_snapshot, execute_spec
+from repro.system.builder import Machine, build_machine
+
+DEFAULT_OUT = (pathlib.Path(__file__).parent / "results"
+               / "BENCH_snapshot.json")
+
+ALL_MUTATIONS = sorted(MUTATION_PROBES) + [COUNTER_MUTATION]
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def _schedule_key(schedule):
+    return tuple((op.tid, op.kind, op.line, op.offset, op.size, op.value)
+                 for op in schedule)
+
+
+# ------------------------------------------------------------------ micro
+
+def bench_snapshot_micro(scales) -> dict:
+    """Dump/restore/digest cost for a machine paused mid-run."""
+    per_scale = {}
+    for scale in scales:
+        spec = RunSpec(tag="FA", mode=ProtocolMode.FSLITE, scale=scale)
+        full = execute_spec(spec).cycles
+        warm = RunSpec(tag="FA", mode=ProtocolMode.FSLITE, scale=scale,
+                       warmup=full // 2)
+        snap = build_warm_snapshot(warm)
+        machine, restore_s = _timed(Machine.restore, snap)
+        assert machine.queue.now == snap.cycle
+        # Pure capture cost: snapshot the already-positioned machine
+        # (build_warm_snapshot itself also pays the warmup simulation).
+        from repro.system.snapshot import take_snapshot
+
+        _, dump_s = _timed(take_snapshot, machine)
+        digest, digest_s = _timed(snap.digest)
+        per_scale[str(scale)] = {
+            "cycles_at_snapshot": snap.cycle,
+            "payload_bytes": snap.size_bytes(),
+            "dump_ms": round(dump_s * 1000, 3),
+            "restore_ms": round(restore_s * 1000, 3),
+            "digest_ms": round(digest_s * 1000, 3),
+            "digest": digest,
+        }
+    return per_scale
+
+
+# ------------------------------------------------------------------ fork
+
+def bench_warm_fork(points: int, scale: float) -> dict:
+    """N sweep points forked from one warmup snapshot vs N cold runs.
+
+    ``warmup`` is placed at 95% of the run — the sweep-driver shape the
+    engine optimises: a long identical prefix, short per-point suffixes.
+    The spec is a coherence-heavy one (BS, 8 threads): restore cost is
+    O(ops consumed) generator replay, so the fork payoff is the ratio of
+    detailed-simulation event cost to op-replay cost, which is what heavy
+    invalidation traffic maximises.
+    """
+    spec = RunSpec(tag="BS", mode=ProtocolMode.FSLITE, scale=scale,
+                   num_threads=8)
+    cold_record, cold_one = _timed(execute_spec, spec)
+    warm_spec = RunSpec(tag="BS", mode=ProtocolMode.FSLITE, scale=scale,
+                        num_threads=8,
+                        warmup=(cold_record.cycles * 19) // 20)
+
+    start = time.perf_counter()
+    for _ in range(points):
+        record = execute_spec(warm_spec)
+        assert record.cycles == cold_record.cycles
+    cold_total = time.perf_counter() - start
+
+    start = time.perf_counter()
+    snap = build_warm_snapshot(warm_spec)
+    for _ in range(points):
+        record = execute_spec(warm_spec, warm=snap)
+        # Forked runs must be bit-for-bit the cold runs, or the "speedup"
+        # would be a behaviour change.
+        assert record.cycles == cold_record.cycles
+        assert record.stats.summary() == cold_record.stats.summary()
+    warm_total = time.perf_counter() - start
+
+    return {
+        "points": points,
+        "scale": scale,
+        "warmup_cycles": warm_spec.warmup,
+        "full_cycles": cold_record.cycles,
+        "cold_seconds": round(cold_total, 4),
+        "warm_seconds": round(warm_total, 4),
+        "cold_per_point_ms": round(cold_one * 1000, 2),
+        "speedup": round(cold_total / warm_total, 2),
+    }
+
+
+# ------------------------------------------------------------------ shrink
+
+def _diverging_schedule(mutation: str, seed: int = 0, length: int = 60):
+    """Deterministic replica of ``hunt_mutation_escape`` discovery: the
+    first generated schedule the mutated machine diverges on."""
+    if mutation == COUNTER_MUTATION:
+        return (counter_probe_schedule(), ProtocolMode.FSDETECT, 1,
+                counter_probe_config())
+    family, mode = MUTATION_PROBES[mutation]
+    threads = 4
+    config = fuzz_config(threads)
+    rng = random.Random(seed)
+    for _ in range(40):
+        case_seed = rng.randrange(1 << 32)
+        schedule = make_schedule(family, random.Random(case_seed),
+                                 num_threads=threads, length=length)
+        report = run_differential(schedule, modes=[mode],
+                                  num_threads=threads, config=config,
+                                  mutation=mutation)
+        if not report.ok:
+            return schedule, mode, threads, config
+    raise RuntimeError(f"mutation {mutation} not caught in 40 attempts")
+
+
+def _shrink_once(schedule, mode, threads, config, mutation, replay: bool):
+    cache = PrefixReplayCache() if replay else None
+    evaluate = shrink_evaluator(
+        cache,
+        lambda candidate, rc: run_differential(
+            candidate, modes=[mode], num_threads=threads, config=config,
+            mutation=mutation, replay=rc))
+    shrunk, seconds = _timed(
+        shrink_schedule, schedule,
+        lambda candidate: bool(candidate) and not evaluate(candidate).ok)
+    return seconds, shrunk, cache
+
+
+def bench_shrink_replay(reps: int) -> dict:
+    """Replay-cache on/off A/B on ddmin-shrinking every seeded mutation."""
+    per_mutation = {}
+    total_cold = total_replay = 0.0
+    for mutation in ALL_MUTATIONS:
+        schedule, mode, threads, config = _diverging_schedule(mutation)
+        _shrink_once(schedule, mode, threads, config, mutation, False)
+        colds, replays = [], []
+        events_saved = 0
+        for _ in range(reps):
+            cold_s, cold_shrunk, _ = _shrink_once(
+                schedule, mode, threads, config, mutation, False)
+            replay_s, replay_shrunk, cache = _shrink_once(
+                schedule, mode, threads, config, mutation, True)
+            if _schedule_key(cold_shrunk) != _schedule_key(replay_shrunk):
+                raise AssertionError(
+                    f"{mutation}: replay changed the shrunk schedule")
+            colds.append(cold_s)
+            replays.append(replay_s)
+            events_saved = cache.events_skipped
+        cold_med = statistics.median(colds)
+        replay_med = statistics.median(replays)
+        total_cold += cold_med
+        total_replay += replay_med
+        per_mutation[mutation] = {
+            "schedule_ops": len(schedule),
+            "shrunk_ops": len(cold_shrunk),
+            "cold_ms": round(cold_med * 1000, 1),
+            "replay_ms": round(replay_med * 1000, 1),
+            "speedup": round(cold_med / replay_med, 2),
+            "events_skipped": events_saved,
+            "memo_hits": cache.memo_hits,
+            "prefix_hits": cache.hits,
+        }
+    return {
+        "reps": reps,
+        "per_mutation": per_mutation,
+        "identical_shrunk_schedules": True,
+        "cold_seconds": round(total_cold, 3),
+        "replay_seconds": round(total_replay, 3),
+        "speedup": round(total_cold / total_replay, 2),
+    }
+
+
+# ------------------------------------------------------------------ smoke
+
+def bench_diff_smoke(iterations: int) -> dict:
+    """The campaign half of ``repro diff --smoke``: seeded schedules × all
+    three modes × atomic reference, zero divergences required."""
+    result, seconds = _timed(
+        diff_campaign, iterations=iterations, seed=0, length=40)
+    assert result.ok, "diff smoke campaign diverged"
+    return {
+        "iterations": iterations,
+        "modes": len(ProtocolMode),
+        "blocks_compared": result.blocks_compared,
+        "divergences": 0,
+        "seconds": round(seconds, 3),
+    }
+
+
+# ------------------------------------------------------------------ driver
+
+def run_suite(quick: bool = False, reps: int = 3) -> dict:
+    return {
+        "snapshot_micro": bench_snapshot_micro(
+            [0.3] if quick else [0.3, 1.0]),
+        "warm_fork": bench_warm_fork(points=16,
+                                     scale=0.3 if quick else 1.0),
+        "shrink_replay": bench_shrink_replay(reps=1 if quick else reps),
+        "diff_smoke": bench_diff_smoke(iterations=12 if quick else 51),
+        "quick": quick,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="local",
+                        help="snapshot label recorded in the trajectory")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller scales/iteration counts (CI smoke)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="median-of-N repetitions for the shrink A/B")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help=f"trajectory JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    snapshot = run_suite(quick=args.quick, reps=args.reps)
+    snapshot["label"] = args.label
+    snapshot["python"] = platform.python_version()
+    snapshot["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+
+    data = {"schema": 1, "snapshots": []}
+    if args.out.exists():
+        data = json.loads(args.out.read_text())
+    data["snapshots"].append(snapshot)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(data, indent=1) + "\n")
+
+    micro = snapshot["snapshot_micro"]
+    for scale, res in micro.items():
+        print(f"snapshot scale={scale:4s} {res['payload_bytes']:>8,}B "
+              f"dump {res['dump_ms']:.2f}ms restore {res['restore_ms']:.2f}ms "
+              f"digest {res['digest_ms']:.2f}ms")
+    fork = snapshot["warm_fork"]
+    print(f"warm_fork {fork['points']} point(s): cold {fork['cold_seconds']}s "
+          f"warm {fork['warm_seconds']}s -> {fork['speedup']}x")
+    shrink = snapshot["shrink_replay"]
+    for mutation, res in shrink["per_mutation"].items():
+        print(f"shrink {mutation:28s} cold {res['cold_ms']:7.1f}ms "
+              f"replay {res['replay_ms']:7.1f}ms {res['speedup']:.2f}x "
+              f"({res['shrunk_ops']} op(s))")
+    print(f"shrink total: cold {shrink['cold_seconds']}s "
+          f"replay {shrink['replay_seconds']}s -> {shrink['speedup']}x "
+          f"(identical shrunk schedules)")
+    smoke = snapshot["diff_smoke"]
+    print(f"diff_smoke {smoke['iterations']} schedule(s) x {smoke['modes']} "
+          f"mode(s): {smoke['seconds']}s, {smoke['divergences']} divergence(s)")
+    print(f"snapshot '{args.label}' appended to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

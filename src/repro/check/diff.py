@@ -44,7 +44,6 @@ from repro.check.fuzz import (
     FAMILIES,
     FuzzFailure,
     FuzzOp,
-    _build_programs,
     fuzz_config,
     make_schedule,
     render_schedule,
@@ -264,21 +263,49 @@ def _run_detailed(
     mutation: Optional[str],
     sanitize: bool,
     max_events: int,
+    replay=None,
+    per_thread=None,
 ) -> Tuple[Machine, Optional[FuzzFailure]]:
     """Execute a schedule on the detailed simulator with assertion-free
     programs (the differential oracle is the only judge); never raises for
-    protocol failures."""
+    protocol failures.  ``replay`` resumes from / records into a
+    :class:`repro.check.replay.PrefixReplayCache` (bit-for-bit neutral).
+    ``per_thread`` (when given) is the pre-split ``check_loads=False``
+    translation — :func:`run_differential` shares one across all modes."""
+    from repro.check.fuzz import _SchedulePrograms, _translate
+
     with mutation_context(mutation):
-        machine = build_machine(config, mode)
-        programs, _ = _build_programs(schedule, num_threads, config,
-                                      check_loads=False)
-        machine.attach_programs(programs)
-        sanitizer = Sanitizer(machine) if sanitize else None
+        if per_thread is None:
+            per_thread, _ = _translate(schedule, num_threads, config,
+                                       check_loads=False)
+        factory = _SchedulePrograms(per_thread)
+        machine = None
+        resume = False
+        checkpoint_every = on_checkpoint = None
+        if replay is not None:
+            from repro.check.replay import CheckpointHook, thread_keys
+
+            keys = thread_keys(per_thread)
+            context = ("diff", mode.value, num_threads, bool(sanitize),
+                       mutation, replay.config_key(config))
+            hit = replay.lookup(context, keys)
+            if hit is not None:
+                machine = replay.restore(hit, factory)
+                resume = True
+            if replay.should_record(context, resumed=resume):
+                checkpoint_every = replay.checkpoint_every
+                on_checkpoint = CheckpointHook(replay, context, keys)
+        if machine is None:
+            machine = build_machine(config, mode)
+            machine.attach_programs(program_factory=factory)
+            if sanitize:
+                machine.extras["sanitizer"] = Sanitizer(machine).attach()
+        sanitizer = machine.extras.get("sanitizer")
         try:
-            if sanitizer is not None:
-                sanitizer.attach()
             try:
-                Simulator(machine, max_events=max_events).run()
+                Simulator(machine, max_events=max_events).run(
+                    resume=resume, checkpoint_every=checkpoint_every,
+                    on_checkpoint=on_checkpoint)
                 if sanitizer is not None:
                     sanitizer.check_all()
             except InvariantViolation as exc:
@@ -303,6 +330,7 @@ def run_differential(
     check_verdicts: bool = True,
     check_counters: bool = True,
     max_events: int = 5_000_000,
+    replay=None,
 ) -> DiffReport:
     """Replay one schedule on every requested mode and on the atomic
     reference; compare each machine against the reference and the modes
@@ -315,13 +343,28 @@ def run_differential(
     """
     modes = list(modes or ProtocolMode)
     config = config or fuzz_config(num_threads)
-    ref = run_reference(schedule, num_threads, config)
+    # Translate the schedule once and share the op stream: the reference
+    # and every detailed mode execute the same footprint by construction,
+    # so there is no reason to pay the O(n) translation 1 + len(modes)
+    # times per call (mutations rewrite protocol behaviour, never the
+    # schedule translation).
+    from repro.check.fuzz import schedule_to_ops
+
+    flat, _ = schedule_to_ops(schedule, num_threads, config,
+                              check_loads=False)
+    per_thread: List[List[tuple]] = [[] for _ in range(num_threads)]
+    for tid, op, expected, label in flat:
+        per_thread[tid].append((op, expected, label))
+    if replay is not None:
+        ref = replay.ref_run(schedule, num_threads, config, flat=flat)
+    else:
+        ref = run_reference(schedule, num_threads, config, flat=flat)
     report = DiffReport(modes_run=list(modes))
     images: List[Tuple[ProtocolMode, object]] = []
     for mode in modes:
         machine, failure = _run_detailed(
             schedule, mode, num_threads, config, mutation, sanitize,
-            max_events)
+            max_events, replay=replay, per_thread=per_thread)
         if failure is not None:
             report.divergences.append(Divergence(
                 "run", mode, None, failure.describe()))
@@ -424,14 +467,18 @@ def diff_campaign(
     mutation: Optional[str] = None,
     shrink: bool = True,
     shrink_budget: int = 400,
+    replay: bool = True,
     progress: Optional[Callable[[int, str, DiffReport], None]] = None,
 ) -> DiffCampaignResult:
     """Run ``iterations`` random schedules through the full differential
     oracle (every mode, cross-mode metamorphic comparison); shrink and
-    render any divergence.  Fully deterministic for a given ``seed``."""
+    render any divergence.  ``replay=False`` shrinks cold (the benchmark
+    baseline).  Fully deterministic for a given ``seed`` — the replay
+    cache never changes results, only wall clock."""
     modes = list(modes or ProtocolMode)
     families = list(families or FAMILIES)
     rng = random.Random(seed)
+    config = fuzz_config(num_threads)
     result = DiffCampaignResult(iterations=iterations)
     for index in range(iterations):
         case_seed = rng.randrange(1 << 32)
@@ -440,7 +487,7 @@ def diff_campaign(
             family, random.Random(case_seed), num_threads=num_threads,
             num_lines=num_lines, length=length)
         report = run_differential(schedule, modes=modes,
-                                  num_threads=num_threads,
+                                  num_threads=num_threads, config=config,
                                   mutation=mutation)
         result.blocks_compared += report.blocks_compared
         if progress is not None:
@@ -449,15 +496,28 @@ def diff_campaign(
             continue
         shrunk = schedule
         if shrink:
-            def still_fails(candidate: List[FuzzOp]) -> bool:
-                return not run_differential(
+            # One prefix-replay cache per shrink session (each mode gets
+            # its own context inside it); exact candidate repeats return
+            # their memoized report.
+            from repro.check.replay import PrefixReplayCache, \
+                shrink_evaluator
+
+            cache = PrefixReplayCache() if replay else None
+            evaluate = shrink_evaluator(
+                cache,
+                lambda candidate, rc: run_differential(
                     candidate, modes=modes, num_threads=num_threads,
-                    mutation=mutation).ok
+                    config=config, mutation=mutation, replay=rc))
+
+            def still_fails(candidate: List[FuzzOp]) -> bool:
+                return not evaluate(candidate).ok
             shrunk = shrink_schedule(schedule, still_fails,
                                      budget=shrink_budget)
-        final = run_differential(shrunk, modes=modes,
-                                 num_threads=num_threads,
-                                 mutation=mutation)
+            final = evaluate(shrunk)
+        else:
+            final = run_differential(shrunk, modes=modes,
+                                     num_threads=num_threads, config=config,
+                                     mutation=mutation)
         detail = (final if not final.ok else report).describe()
         result.findings.append(DiffFinding(
             case_seed=case_seed, family=family, modes=list(modes),
@@ -527,56 +587,68 @@ def hunt_mutation_escape(
     length: int = 60,
     shrink: bool = True,
     shrink_budget: int = 400,
+    replay: bool = True,
 ) -> MutationEscape:
     """Find (and shrink) a schedule on which the differential oracle alone
     — no sanitizer, no in-program load assertions — catches ``mutation``.
 
-    Deterministic for a given ``seed``.  The counter mutation needs its own
-    probe: under the default 7-bit ``counter_max`` no ≤10-op schedule can
-    overflow a counter, so it runs on :func:`counter_probe_config`.
+    Deterministic for a given ``seed``, with or without the prefix-replay
+    cache (``replay=False`` re-executes every shrink candidate cold; the
+    benchmark baseline).  The counter mutation needs its own probe: under
+    the default 7-bit ``counter_max`` no ≤10-op schedule can overflow a
+    counter, so it runs on :func:`counter_probe_config`.
     """
     if mutation == COUNTER_MUTATION:
         config = counter_probe_config()
-        schedule = counter_probe_schedule()
         mode, family, threads = ProtocolMode.FSDETECT, "n/a", 1
-        candidates = [(0, schedule)]
+        candidates = iter([(0, counter_probe_schedule())])
+        max_attempts = 1
     else:
         family, mode = MUTATION_PROBES[mutation]
-        config, threads = None, num_threads
+        threads = num_threads
+        config = fuzz_config(threads)
         rng = random.Random(seed)
-        candidates = []
-        for _ in range(max_attempts):
-            case_seed = rng.randrange(1 << 32)
-            candidates.append((case_seed, make_schedule(
-                family, random.Random(case_seed), num_threads=threads,
-                length=length)))
+
+        def _gen():
+            for _ in range(max_attempts):
+                case_seed = rng.randrange(1 << 32)
+                yield case_seed, make_schedule(
+                    family, random.Random(case_seed), num_threads=threads,
+                    length=length)
+        candidates = _gen()
+
+    from repro.check.replay import PrefixReplayCache, shrink_evaluator
+
+    cache = PrefixReplayCache() if replay else None
+    evaluate = shrink_evaluator(
+        cache,
+        lambda candidate, rc: run_differential(
+            candidate, modes=[mode], num_threads=threads,
+            config=config, mutation=mutation, replay=rc))
 
     def diverges(candidate: List[FuzzOp]) -> bool:
         if not candidate:
             return False
-        return not run_differential(
-            candidate, modes=[mode], num_threads=threads, config=config,
-            mutation=mutation).ok
+        return not evaluate(candidate).ok
 
     for attempt, (case_seed, schedule) in enumerate(candidates, start=1):
         if not diverges(schedule):
             continue
         shrunk = (shrink_schedule(schedule, diverges, budget=shrink_budget)
                   if shrink else schedule)
-        detail = run_differential(
-            shrunk, modes=[mode], num_threads=threads, config=config,
-            mutation=mutation).describe()
+        detail = evaluate(shrunk).describe()
         return MutationEscape(
             mutation=mutation, caught=True, mode=mode, family=family,
             case_seed=case_seed, attempts=attempt, detail=detail,
             schedule=schedule, shrunk=shrunk)
     return MutationEscape(mutation=mutation, caught=False, mode=mode,
-                          family=family, attempts=len(candidates))
+                          family=family, attempts=max_attempts)
 
 
 def mutation_escape_sweep(
     seed: int = 0,
     shrink_budget: int = 400,
+    replay: bool = True,
     progress: Optional[Callable[[MutationEscape], None]] = None,
 ) -> Dict[str, MutationEscape]:
     """Hunt every seeded mutation; the CI gate demands each is caught and
@@ -584,7 +656,8 @@ def mutation_escape_sweep(
     out: Dict[str, MutationEscape] = {}
     for name in sorted(MUTATIONS):
         escape = hunt_mutation_escape(name, seed=seed,
-                                      shrink_budget=shrink_budget)
+                                      shrink_budget=shrink_budget,
+                                      replay=replay)
         out[name] = escape
         if progress is not None:
             progress(escape)

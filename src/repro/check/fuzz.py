@@ -240,8 +240,16 @@ def schedule_to_ops(
             model[line] = bytearray(block)
         return model[line]
 
-    for index, fop in enumerate(schedule):
-        label = f"op[{index}] {fop.kind} t{fop.tid}"
+    # Labels are *thread-local* (t2#5 = thread 2's 6th schedule element):
+    # dropping another thread's op never re-labels this thread's, which is
+    # what lets the prefix-replay cache (repro.check.replay) treat a
+    # thread's translated item list as a pure function of that thread's
+    # own sub-schedule.
+    per_thread_index: Dict[int, int] = {}
+    for fop in schedule:
+        j = per_thread_index.get(fop.tid, 0)
+        per_thread_index[fop.tid] = j + 1
+        label = f"t{fop.tid}#{j} {fop.kind}"
         if fop.kind == "pause":
             flat.append((fop.tid, compute(fop.value), None, label))
             continue
@@ -302,6 +310,55 @@ def schedule_to_ops(
     return flat, expectations
 
 
+def _schedule_program(items):
+    """One thread's generator over translated ``(op, expected, label)``
+    items (module-level so :class:`_SchedulePrograms` pickles)."""
+    for op, expected, label in items:
+        result = yield op
+        if expected is not None and result != expected:
+            raise AssertionError(
+                f"{label}: loaded {result:#x}, expected {expected:#x}")
+
+
+class _SchedulePrograms:
+    """Picklable program factory over per-thread translated item lists.
+
+    Machines attached through this factory snapshot/restore cleanly; the
+    replay cache passes a factory built over the *candidate* item lists
+    when restoring a shared-prefix checkpoint."""
+
+    __slots__ = ("per_thread",)
+
+    def __init__(self, per_thread) -> None:
+        self.per_thread = per_thread
+
+    def __call__(self):
+        return [_schedule_program(items) for items in self.per_thread]
+
+    def __getstate__(self):
+        return self.per_thread
+
+    def __setstate__(self, state):
+        self.per_thread = state
+
+
+def _translate(
+    schedule: List[FuzzOp],
+    num_threads: int,
+    config: SystemConfig,
+    check_loads: bool = True,
+) -> Tuple[List[List[Tuple[Op, Optional[int], str]]],
+           List[Tuple[int, int, str]]]:
+    """Per-thread translated item lists plus the expected final image."""
+    flat, expectations = schedule_to_ops(
+        schedule, num_threads, config, check_loads=check_loads)
+    per_thread: List[List[Tuple[Op, Optional[int], str]]] = [
+        [] for _ in range(num_threads)]
+    for tid, op, expected, label in flat:
+        per_thread[tid].append((op, expected, label))
+    return per_thread, expectations
+
+
 def _build_programs(
     schedule: List[FuzzOp],
     num_threads: int,
@@ -314,24 +371,9 @@ def _build_programs(
     Returns ``(programs, expectations)`` where each expectation is
     ``(addr, want_value, label)`` for one 8-byte word.
     """
-    flat, expectations = schedule_to_ops(
+    per_thread, expectations = _translate(
         schedule, num_threads, config, check_loads=check_loads)
-    per_thread: List[List[Tuple[Op, Optional[int], str]]] = [
-        [] for _ in range(num_threads)]
-    for tid, op, expected, label in flat:
-        per_thread[tid].append((op, expected, label))
-
-    def make_program(items):
-        def program():
-            for op, expected, label in items:
-                result = yield op
-                if expected is not None and result != expected:
-                    raise AssertionError(
-                        f"{label}: loaded {result:#x}, expected "
-                        f"{expected:#x}")
-        return program()
-
-    return [make_program(items) for items in per_thread], expectations
+    return _SchedulePrograms(per_thread)(), expectations
 
 
 def run_schedule(
@@ -344,6 +386,7 @@ def run_schedule(
     max_events: int = 5_000_000,
     differential: bool = False,
     check_loads: bool = True,
+    replay=None,
 ) -> FuzzReport:
     """Execute one schedule; never raises for protocol failures.
 
@@ -354,19 +397,46 @@ def run_schedule(
     report with stage ``"differential"``.  ``check_loads=False`` builds
     assertion-free programs (same op stream) so failures can only come from
     external oracles.
+
+    ``replay`` (a :class:`repro.check.replay.PrefixReplayCache`) resumes
+    the run from the deepest memoized snapshot whose per-thread op prefix
+    matches this schedule, and checkpoints this run for later candidates —
+    results are bit-for-bit identical to a cold run.  Shrink loops pass one
+    cache per session; one-shot callers leave it None.
     """
     config = config or fuzz_config(num_threads)
     with mutation_context(mutation):
-        machine = build_machine(config, mode)
-        programs, expectations = _build_programs(
+        per_thread, expectations = _translate(
             schedule, num_threads, config, check_loads=check_loads)
-        machine.attach_programs(programs)
-        sanitizer = Sanitizer(machine) if sanitize else None
+        factory = _SchedulePrograms(per_thread)
+        machine = None
+        resume = False
+        checkpoint_every = on_checkpoint = None
+        if replay is not None:
+            from repro.check.replay import CheckpointHook, thread_keys
+
+            keys = thread_keys(per_thread)
+            context = ("fuzz", mode.value, num_threads, bool(sanitize),
+                       mutation, bool(check_loads),
+                       replay.config_key(config))
+            hit = replay.lookup(context, keys)
+            if hit is not None:
+                machine = replay.restore(hit, factory)
+                resume = True
+            if replay.should_record(context, resumed=resume):
+                checkpoint_every = replay.checkpoint_every
+                on_checkpoint = CheckpointHook(replay, context, keys)
+        if machine is None:
+            machine = build_machine(config, mode)
+            machine.attach_programs(program_factory=factory)
+            if sanitize:
+                machine.extras["sanitizer"] = Sanitizer(machine).attach()
+        sanitizer = machine.extras.get("sanitizer")
         try:
-            if sanitizer is not None:
-                sanitizer.attach()
             try:
-                result = Simulator(machine, max_events=max_events).run()
+                result = Simulator(machine, max_events=max_events).run(
+                    resume=resume, checkpoint_every=checkpoint_every,
+                    on_checkpoint=on_checkpoint)
                 if sanitizer is not None:
                     sanitizer.check_all()
             except InvariantViolation as exc:
@@ -393,7 +463,10 @@ def run_schedule(
             from repro.check.diff import differential_check
             from repro.check.refmodel import run_reference
 
-            ref = run_reference(schedule, num_threads, config)
+            if replay is not None:
+                ref = replay.ref_run(schedule, num_threads, config)
+            else:
+                ref = run_reference(schedule, num_threads, config)
             diff = differential_check(machine, ref)
             if diff.divergences:
                 first = diff.divergences[0]
@@ -431,7 +504,11 @@ def shrink_schedule(
     while len(current) >= 2 and runs < budget:
         size = max(1, len(current) // chunks)
         reduced = False
-        for start in range(0, len(current), size):
+        # Scan back-to-front: dropping a tail chunk leaves the candidate
+        # sharing the base's entire prefix, so replay caches resume deep
+        # instead of re-simulating from cycle zero.
+        starts = range(((len(current) - 1) // size) * size, -1, -size)
+        for start in starts:
             candidate = current[:start] + current[start + size:]
             if not candidate or runs >= budget:
                 continue
@@ -528,14 +605,17 @@ def fuzz_campaign(
     shrink: bool = True,
     shrink_budget: int = 400,
     differential: bool = False,
+    replay: bool = True,
     progress: Optional[Callable[[int, str, ProtocolMode, FuzzReport],
                                 None]] = None,
 ) -> CampaignResult:
     """Run ``iterations`` random schedules; shrink and render any failure.
 
     ``differential=True`` adds the atomic-reference-model oracle to every
-    run (including shrink re-executions).  Fully deterministic for a given
-    ``seed`` and parameter set.
+    run (including shrink re-executions).  ``replay=False`` disables the
+    prefix-replay cache during shrinking (cold re-execution; the benchmark
+    baseline).  Fully deterministic for a given ``seed`` and parameter
+    set — the replay cache never changes results, only wall clock.
     """
     modes = modes or list(ProtocolMode)
     families = families or list(FAMILIES)
@@ -555,15 +635,33 @@ def fuzz_campaign(
         if report.ok:
             continue
         shrunk = schedule
+        cache = None
         if shrink:
-            def still_fails(candidate: List[FuzzOp]) -> bool:
-                return not run_schedule(
+            # One prefix-replay cache per shrink session: ddmin candidates
+            # share long per-thread prefixes, so most re-runs resume from a
+            # memoized snapshot instead of cycle zero — and exact repeats
+            # (ddmin's fixed-point pass) return their memoized report.
+            from repro.check.replay import PrefixReplayCache, \
+                shrink_evaluator
+
+            cache = PrefixReplayCache() if replay else None
+            shrink_config = fuzz_config(num_threads)
+            evaluate = shrink_evaluator(
+                cache,
+                lambda candidate, rc: run_schedule(
                     candidate, mode=mode, num_threads=num_threads,
-                    mutation=mutation, differential=differential).ok
+                    config=shrink_config, mutation=mutation,
+                    differential=differential, replay=rc))
+
+            def still_fails(candidate: List[FuzzOp]) -> bool:
+                return not evaluate(candidate).ok
             shrunk = shrink_schedule(schedule, still_fails,
                                      budget=shrink_budget)
-        final = run_schedule(shrunk, mode=mode, num_threads=num_threads,
-                             mutation=mutation, differential=differential)
+            final = evaluate(shrunk)
+        else:
+            final = run_schedule(shrunk, mode=mode, num_threads=num_threads,
+                                 mutation=mutation,
+                                 differential=differential)
         failure = final.failure or report.failure
         result.findings.append(FuzzFinding(
             case_seed=case_seed, family=family, mode=mode,

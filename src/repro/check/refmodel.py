@@ -220,18 +220,26 @@ def run_reference(
     schedule,
     num_threads: int,
     config: Optional[SystemConfig] = None,
+    flat=None,
 ) -> RefResult:
     """Execute a fuzz schedule on the atomic machine, in schedule list
     order (a legal interleaving: the list interleaves per-thread program
     order, which dropping elements preserves — the same property that makes
-    ddmin over schedules sound)."""
+    ddmin over schedules sound).
+
+    ``flat`` (when given) is the pre-translated ``check_loads=False`` op
+    stream for this exact ``(schedule, num_threads, config)`` — callers
+    that already paid for the translation (``run_differential`` shares one
+    across the reference and every mode) pass it to skip re-translating.
+    """
     # Imported here: fuzz imports this module lazily for its differential
     # oracle, and the translation must be fuzz's own (footprint parity).
     from repro.check.fuzz import fuzz_config, schedule_to_ops
 
     config = config or fuzz_config(num_threads)
-    flat, _ = schedule_to_ops(schedule, num_threads, config,
-                              check_loads=False)
+    if flat is None:
+        flat, _ = schedule_to_ops(schedule, num_threads, config,
+                                  check_loads=False)
     machine = AtomicMachine(config, num_threads)
     for tid, op, _expected, _label in flat:
         machine.execute(tid, op)

@@ -56,6 +56,7 @@ from repro.coherence.states import DirState, L1State
 from repro.common.bitvec import iter_set_bits
 from repro.common.config import SanitizerConfig
 from repro.common.errors import ReproError
+from repro.common.events import EventQueue
 from repro.interconnect.message import Message, MessageType
 from repro.obs.observer import Observer
 from repro.system.builder import Machine
@@ -130,7 +131,6 @@ class Sanitizer(Observer):
         #: consecutive contexts on a hot block are never conflated.
         self._ages: Dict[Tuple[str, int, int], Tuple[int, int]] = {}
         self._since_sweep = 0
-        self._orig_step = None
         # Statistics.
         self.blocks_checked = 0
         self.sweeps = 0
@@ -140,23 +140,21 @@ class Sanitizer(Observer):
     def on_attach(self, machine: Machine) -> None:
         # The periodic sweep rides on the event queue's step, not on
         # message delivery, so it also fires through traffic-free stretches.
-        queue = machine.queue
-        self._orig_step = queue.step
-
-        def stepped() -> bool:
-            ran = self._orig_step()
-            if ran:
-                self._since_sweep += 1
-                if self._since_sweep >= self.config.sweep_interval:
-                    self._since_sweep = 0
-                    self.sweep()
-            return ran
-
-        queue.step = stepped  # type: ignore[method-assign]
+        # A bound method (not a closure) so an attached sanitizer survives
+        # machine snapshots.
+        machine.queue.step = self._stepped  # type: ignore[method-assign]
 
     def on_detach(self, machine: Machine) -> None:
         del machine.queue.step  # restore the class method
-        self._orig_step = None
+
+    def _stepped(self) -> bool:
+        ran = EventQueue.step(self.machine.queue)
+        if ran:
+            self._since_sweep += 1
+            if self._since_sweep >= self.config.sweep_interval:
+                self._since_sweep = 0
+                self.sweep()
+        return ran
 
     # ----------------------------------------------------------- hook entry
 

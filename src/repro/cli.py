@@ -32,6 +32,9 @@
 * ``trace <tag|experiment>`` — run one workload with the observability
   layer attached and export a Chrome-trace/Perfetto JSON timeline of its
   detection/privatization episodes and metric time series.
+* ``bench`` — run the committed microbenchmark suites
+  (``benchmarks/bench_kernel.py``, ``benchmarks/bench_snapshot.py``) and
+  append a labelled snapshot to their trajectory JSONs.
 * ``list`` — available workloads and experiments.
 
 Every simulating command accepts ``--jobs N`` (fan simulations out over N
@@ -118,6 +121,11 @@ def _parser() -> argparse.ArgumentParser:
     run_p.add_argument("--obs-out", metavar="PATH",
                        help="also export the run's Chrome-trace JSON to "
                             "PATH (implies --obs)")
+    run_p.add_argument("--progress", action="store_true",
+                       help="print per-spec progress plus the engine's "
+                            "batch counters (cache hits/misses, dedup, "
+                            "retries, quarantines, timeouts, warm-start "
+                            "builds/hits) to stderr")
     _add_engine_args(run_p)
 
     cmp_p = sub.add_parser("compare",
@@ -319,6 +327,23 @@ def _parser() -> argparse.ArgumentParser:
                             "scale 0.1)")
     _add_engine_args(trc_p)
 
+    bench_p = sub.add_parser(
+        "bench", help="run the committed microbenchmark suites "
+                      "(benchmarks/bench_kernel.py and "
+                      "benchmarks/bench_snapshot.py) and append a "
+                      "labelled snapshot to their results JSONs")
+    bench_p.add_argument("suite", nargs="?", default="all",
+                         choices=["all", "kernel", "snapshot"],
+                         help="which suite to run (default all)")
+    bench_p.add_argument("--label", default="local",
+                         help="snapshot label recorded in the results "
+                              "JSONs (default local)")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="reduced iteration counts (CI smoke mode)")
+    bench_p.add_argument("--out-dir", metavar="DIR",
+                         help="write BENCH_*.json files under DIR instead "
+                              "of benchmarks/results/")
+
     sub.add_parser("list", help="available workloads and experiments")
     return parser
 
@@ -327,6 +352,16 @@ def _print_progress(done, total, spec, seconds, source) -> None:
     note = "cached" if source == "cache" else f"{seconds:.2f}s"
     print(f"[{done}/{total}] {spec.tag} {spec.mode.value} {spec.layout} "
           f"({note})", file=sys.stderr)
+
+
+def _print_engine_stats(engine: Engine) -> None:
+    s = engine.stats
+    misses = s["executed"]
+    print(f"engine: {misses} executed, {s['cache_hits']} cache hit(s), "
+          f"{misses} miss(es), {s['deduped']} deduped, "
+          f"{s['retries']} retry(ies), {s['quarantined']} quarantined, "
+          f"{s['timeouts']} timeout(s), {s['warm_built']} warm built, "
+          f"{s['warm_hits']} warm hit(s)", file=sys.stderr)
 
 
 def _engine_from_args(args, progress=None) -> Engine:
@@ -340,7 +375,8 @@ def _engine_from_args(args, progress=None) -> Engine:
 
 
 def _cmd_run(args) -> int:
-    engine = _engine_from_args(args)
+    engine = _engine_from_args(
+        args, progress=_print_progress if args.progress else None)
     config = SystemConfig().with_sanitizer() if args.sanitize else None
     obs = ObsConfig() if (args.obs or args.obs_out) else None
     spec = RunSpec(tag=args.tag, mode=ProtocolMode(args.protocol),
@@ -348,6 +384,8 @@ def _cmd_run(args) -> int:
                    num_threads=args.threads, seed=args.seed,
                    core_model=args.core, obs=obs)
     record = engine.run_one(spec)
+    if args.progress:
+        _print_engine_stats(engine)
     for key, value in record.stats.summary().items():
         print(f"{key:22s} {value}")
     if args.sanitize:
@@ -426,6 +464,8 @@ def _cmd_experiment(args) -> int:
     progress = _print_progress if args.progress else None
     engine = _engine_from_args(args, progress=progress)
     result = EXPERIMENTS[args.name](scale=args.scale, engine=engine)
+    if args.progress:
+        _print_engine_stats(engine)
     print(result.render())
     return 0
 
@@ -756,6 +796,43 @@ def _cmd_trace(args) -> int:
     return 0 if ok else 1
 
 
+_BENCH_SUITES = {"kernel": "bench_kernel.py", "snapshot": "bench_snapshot.py"}
+
+
+def _load_bench(path) -> object:
+    """Import a benchmarks/ script by path (the directory is not a
+    package; the scripts are self-contained and expose ``main(argv)``)."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _cmd_bench(args) -> int:
+    import pathlib
+
+    bench_dir = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+    if not bench_dir.is_dir():
+        print(f"repro: error: benchmarks directory not found at "
+              f"{bench_dir} (run from a source checkout)", file=sys.stderr)
+        return 1
+    suites = (list(_BENCH_SUITES) if args.suite == "all" else [args.suite])
+    rc = 0
+    for name in suites:
+        script = bench_dir / _BENCH_SUITES[name]
+        argv = ["--label", args.label]
+        if args.quick:
+            argv.append("--quick")
+        if args.out_dir:
+            out = pathlib.Path(args.out_dir) / f"BENCH_{name}.json"
+            argv += ["--out", str(out)]
+        print(f"== {script.name} {' '.join(argv)}", file=sys.stderr)
+        rc = _load_bench(script).main(argv) or rc
+    return rc
+
+
 def _cmd_list(_args) -> int:
     print("Applications with false sharing (Table III):")
     print("  " + " ".join(t for t in ALL_WORKLOADS
@@ -782,6 +859,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diff": _cmd_diff,
         "profile": _cmd_profile,
         "trace": _cmd_trace,
+        "bench": _cmd_bench,
         "list": _cmd_list,
     }[args.command]
     try:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Deque, Dict, List, Optional, Set
 
 from repro.common.config import SystemConfig
@@ -80,6 +81,24 @@ class LlcLine:
         if self.state == DirState.PRV:
             return set(self.prv_sharers)
         return set()
+
+
+class _QueueNow:
+    """Picklable simulation-clock accessor handed to the detector."""
+
+    __slots__ = ("queue",)
+
+    def __init__(self, queue: EventQueue) -> None:
+        self.queue = queue
+
+    def __call__(self) -> int:
+        return self.queue.now
+
+    def __getstate__(self):
+        return self.queue
+
+    def __setstate__(self, state):
+        self.queue = state
 
 
 @dataclass
@@ -145,7 +164,7 @@ class DirectorySlice:
             self.detector = FalseSharingDetector(
                 config.protocol, self.block_size, config.num_cores,
                 index_divisor=num_slices, index_offset=slice_id)
-            self.detector.now = lambda: self.queue.now
+            self.detector.now = _QueueNow(queue)
         self._busy: Dict[int, BusyCtx] = {}
         self._pending: Dict[int, Deque[Message]] = {}
         #: Episode observer (repro.obs.episodes.EpisodeTracker) or None.
@@ -209,7 +228,7 @@ class DirectorySlice:
         self._busy.pop(block, None)
         if rerun is not None:
             self._pending.setdefault(block, deque()).appendleft(rerun)
-        self.queue.schedule(0, lambda: self._drain(block))
+        self.queue.schedule(0, partial(self._drain, block))
 
     def _drain(self, block: int) -> None:
         queue = self._pending.get(block)
@@ -671,23 +690,24 @@ class DirectorySlice:
         self._busy[block] = ctx
         self.stats[SLICE_MEMORY_FETCHES] += 1
         self.queue.schedule(self.config.memory_latency,
-                            lambda: self._fetch_done(ctx))
+                            partial(self._fetch_done, ctx))
 
     def _fetch_done(self, ctx: BusyCtx) -> None:
+        self._fetch_attempt(ctx, self.memory.read_block(ctx.block))
+
+    def _fetch_attempt(self, ctx: BusyCtx, data: bytearray) -> None:
+        """Install the fetched block, resolving one victim per retry.  A
+        bound method (not a closure) so continuations stored in busy
+        contexts survive machine snapshots."""
         block = ctx.block
-        data = self.memory.read_block(block)
-
-        def attempt() -> None:
-            victim = self.llc.choose_victim(
-                block, protected=self._protected_ways(block))
-            if not victim.valid:
-                self._install_llc(block, data)
-                self._release_busy(block, rerun=ctx.request)
-            else:
-                # Resolve one victim (evict/recall/terminate), then retry.
-                self._make_room(block, attempt)
-
-        attempt()
+        victim = self.llc.choose_victim(
+            block, protected=self._protected_ways(block))
+        if not victim.valid:
+            self._install_llc(block, data)
+            self._release_busy(block, rerun=ctx.request)
+        else:
+            # Resolve one victim (evict/recall/terminate), then retry.
+            self._make_room(block, partial(self._fetch_attempt, ctx, data))
 
     def _make_room(self, block: int, then: Callable[[], None]) -> None:
         """Resolve one victim way for ``block``, then call ``then``."""

@@ -30,6 +30,11 @@ from repro.core.report import (
 from repro.core.sam import SamEntry, SamTable
 
 
+def _zero_clock() -> int:
+    """Default ``now`` accessor (module-level so detectors pickle)."""
+    return 0
+
+
 class FalseSharingDetector:
     """Per-slice detection state and decision logic."""
 
@@ -69,7 +74,7 @@ class FalseSharingDetector:
         self.conflict_log_limit = 4096
         #: Simulation-time accessor injected by the directory (so reports
         #: can carry cycle stamps without coupling to the event queue).
-        self.now: Callable[[], int] = lambda: 0
+        self.now: Callable[[], int] = _zero_clock
         #: Episode observer (repro.obs.episodes.EpisodeTracker) or None;
         #: calls are None-guarded and fire per episode event, not per access.
         self.obs = None

@@ -6,11 +6,19 @@ blocks on every load/store until it is globally performed — the Table II
 
 A core executes a *thread program*: a generator yielding :class:`Op` values
 and receiving each op's result back (see :mod:`repro.cpu.ops`).
+
+Snapshot support: generators cannot be pickled, so the core records the
+replay trace of its program — whether the first ``next`` happened and every
+result passed to ``send`` — and drops the generator from its pickled state.
+:meth:`rebind_program` rebuilds an equivalent generator from a fresh
+program instance by fast-forwarding it through the recorded trace (the
+program is deterministic given the results it received).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional
+from functools import partial
+from typing import Callable, Generator, List, Optional
 
 from repro.common.errors import WorkloadError
 from repro.common.events import EventQueue
@@ -42,20 +50,32 @@ class InOrderCore:
         self.compute_cycles = 0
         self.mem_stall_cycles = 0
         self._issue_cycle = 0
+        # Program replay trace (snapshot support): whether the initial
+        # ``next`` has run, every result successfully ``send``-ed, and how
+        # many ops the program has yielded.
+        self._started = False
+        self._sent: List[Optional[int]] = []
+        self._exhausted = False
+        self.pulled = 0
 
     def start(self) -> None:
-        self.queue.schedule(0, lambda: self._advance(None, first=True))
+        self.queue.schedule(0, partial(self._advance, None, True))
 
     def _advance(self, result: Optional[int], first: bool = False) -> None:
         """Resume the program with the previous op's result and issue next."""
         try:
             if first:
+                self._started = True
                 op = next(self.program)
             else:
                 op = self.program.send(result)
         except StopIteration:
+            self._exhausted = True
             self._finish()
             return
+        if not first:
+            self._sent.append(result)
+        self.pulled += 1
         if not isinstance(op, Op):
             raise WorkloadError(
                 f"thread program yielded a non-Op: {op!r}")
@@ -66,10 +86,10 @@ class InOrderCore:
             self.l1.access(op, self._mem_complete)
         elif op.kind is OpKind.COMPUTE:
             self.compute_cycles += op.cycles
-            self.queue.schedule(op.cycles, lambda: self._advance(0))
+            self.queue.schedule(op.cycles, partial(self._advance, 0))
         else:
             # FENCE — in-order, one outstanding op: a timing no-op.
-            self.queue.schedule(0, lambda: self._advance(0))
+            self.queue.schedule(0, partial(self._advance, 0))
 
     def _mem_complete(self, result: int) -> None:
         # queue._now read directly (the property is per-mem-op hot).
@@ -81,3 +101,25 @@ class InOrderCore:
         self.finish_cycle = self.queue.now
         if self.on_done is not None:
             self.on_done(self.core_id)
+
+    # -- snapshot support --------------------------------------------------
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["program"] = None  # generators cannot be pickled
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    def rebind_program(self, program: Optional[ThreadProgram]) -> None:
+        """Re-attach a fresh program instance after unpickling, replaying
+        the recorded trace so the generator's cursor matches the captured
+        core state.  Exhausted programs need no generator at all."""
+        if self._exhausted or not self._started:
+            self.program = program
+            return
+        next(program)
+        for result in self._sent:
+            program.send(result)
+        self.program = program

@@ -15,12 +15,17 @@ The model keeps a bounded window of in-flight memory operations:
 
 Commit-stall accounting mirrors the paper's metric: cycles the oldest
 in-flight op spends blocking retirement beyond the issue-side cost.
+
+Like :class:`~repro.cpu.core.InOrderCore`, the core records its program's
+replay trace so machine snapshots can drop the (unpicklable) generator and
+:meth:`rebind_program` can rebuild it.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from functools import partial
+from typing import Callable, Deque, List, Optional
 
 from repro.common.errors import WorkloadError
 from repro.common.events import EventQueue
@@ -36,6 +41,12 @@ class _WindowSlot:
         self.issued_at = issued_at
         self.done = False
         self.completed_at = 0
+
+    def __getstate__(self):
+        return (self.op, self.issued_at, self.done, self.completed_at)
+
+    def __setstate__(self, state):
+        self.op, self.issued_at, self.done, self.completed_at = state
 
 
 class OutOfOrderCore:
@@ -67,15 +78,20 @@ class OutOfOrderCore:
         self._draining = False
         self._program_exhausted = False
         self._retire_cursor = 0
+        # Program replay trace (snapshot support); see InOrderCore.
+        self._started = False
+        self._sent: List[Optional[int]] = []
+        self.pulled = 0
 
     def start(self) -> None:
-        self.queue.schedule(0, lambda: self._advance(None, first=True))
+        self.queue.schedule(0, partial(self._advance, None, True))
 
     # -- issue side -------------------------------------------------------------
 
     def _advance(self, result: Optional[int], first: bool = False) -> None:
         try:
             if first:
+                self._started = True
                 op = next(self.program)
             else:
                 op = self.program.send(result)
@@ -83,6 +99,9 @@ class OutOfOrderCore:
             self._program_exhausted = True
             self._maybe_finish()
             return
+        if not first:
+            self._sent.append(result)
+        self.pulled += 1
         if not isinstance(op, Op):
             raise WorkloadError(f"thread program yielded a non-Op: {op!r}")
         self.ops_executed += 1
@@ -91,7 +110,7 @@ class OutOfOrderCore:
     def _issue(self, op: Op) -> None:
         if op.kind == OpKind.COMPUTE:
             self.compute_cycles += op.cycles
-            self.queue.schedule(op.cycles, lambda: self._advance(0))
+            self.queue.schedule(op.cycles, partial(self._advance, 0))
             return
         if op.kind == OpKind.FENCE:
             self._draining = True
@@ -99,33 +118,32 @@ class OutOfOrderCore:
             return
         if len(self._slots) >= self.window:
             # Window full: stall issue until the oldest slot retires.
-            self.queue.schedule(1, lambda: self._issue(op))
+            self.queue.schedule(1, partial(self._issue, op))
             return
         self.mem_ops += 1
         slot = _WindowSlot(op, self.queue.now)
         self._slots.append(slot)
         blocking = op.need_value or op.kind == OpKind.RMW
-        self.l1.access(op, self._completion_for(slot, blocking))
+        self.l1.access(op, partial(self._complete_slot, slot, blocking))
         if blocking:
             self._waiting_value = True
         else:
-            self.queue.schedule(1, lambda: self._advance(0))
+            self.queue.schedule(1, partial(self._advance, 0))
 
-    def _completion_for(self, slot: _WindowSlot, blocking: bool):
-        def complete(result: int) -> None:
-            slot.done = True
-            slot.completed_at = self.queue.now
-            self._retire()
-            if blocking:
-                self._waiting_value = False
-                self.queue.schedule(0, lambda: self._advance(result))
-            self._try_resume_after_drain()
-        return complete
+    def _complete_slot(self, slot: _WindowSlot, blocking: bool,
+                       result: int) -> None:
+        slot.done = True
+        slot.completed_at = self.queue.now
+        self._retire()
+        if blocking:
+            self._waiting_value = False
+            self.queue.schedule(0, partial(self._advance, result))
+        self._try_resume_after_drain()
 
     def _try_resume_after_drain(self) -> None:
         if self._draining and not self._slots:
             self._draining = False
-            self.queue.schedule(0, lambda: self._advance(0))
+            self.queue.schedule(0, partial(self._advance, 0))
 
     # -- retire side ------------------------------------------------------------
 
@@ -143,3 +161,23 @@ class OutOfOrderCore:
             self.finish_cycle = self.queue.now
             if self.on_done is not None:
                 self.on_done(self.core_id)
+
+    # -- snapshot support --------------------------------------------------
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["program"] = None  # generators cannot be pickled
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    def rebind_program(self, program: Optional[ThreadProgram]) -> None:
+        """Re-attach a fresh program after unpickling (see InOrderCore)."""
+        if self._program_exhausted or not self._started:
+            self.program = program
+            return
+        next(program)
+        for result in self._sent:
+            program.send(result)
+        self.program = program

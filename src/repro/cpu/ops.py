@@ -75,8 +75,24 @@ class Op:
                 f"size={self.size}, value={self.value})")
 
 
+#: Interned LOAD ops.  Ops are immutable after construction (no consumer
+#: writes a field, nothing keys on identity), and loads are by far the most
+#: constructed kind — workloads re-touch the same addresses millions of
+#: times and generator-replay on snapshot restore rebuilds every consumed
+#: op.  Interning turns the dominant hot-path construction into a dict hit.
+_LOAD_CACHE: dict = {}
+_LOAD_CACHE_MAX = 1 << 16
+
+
 def load(addr: int, size: int = 4, need_value: bool = True) -> Op:
-    return Op(OpKind.LOAD, addr=addr, size=size, need_value=need_value)
+    key = (addr, size, need_value)
+    op = _LOAD_CACHE.get(key)
+    if op is None:
+        if len(_LOAD_CACHE) >= _LOAD_CACHE_MAX:
+            _LOAD_CACHE.clear()
+        op = Op(OpKind.LOAD, addr=addr, size=size, need_value=need_value)
+        _LOAD_CACHE[key] = op
+    return op
 
 
 def store(addr: int, value: int, size: int = 4) -> Op:
@@ -90,16 +106,47 @@ def rmw(addr: int, modify: Callable[[int], int], size: int = 4,
               need_value=need_value)
 
 
+class FetchAddModify:
+    """Picklable fetch-and-add modify function (``(old + delta) & mask``).
+
+    A ``__slots__`` class instead of a lambda so ops captured inside
+    in-flight events/MSHRs survive machine snapshots, and so replay keys
+    can read the delta back out.
+    """
+
+    __slots__ = ("delta", "mask")
+
+    def __init__(self, delta: int, mask: int) -> None:
+        self.delta = delta
+        self.mask = mask
+
+    def __call__(self, old: int) -> int:
+        return (old + self.delta) & self.mask
+
+
+class CasModify:
+    """Picklable compare-and-swap modify function."""
+
+    __slots__ = ("expect", "new")
+
+    def __init__(self, expect: int, new: int) -> None:
+        self.expect = expect
+        self.new = new
+
+    def __call__(self, old: int) -> int:
+        return self.new if old == self.expect else old
+
+
 def fetch_add(addr: int, delta: int = 1, size: int = 4) -> Op:
     """Atomic fetch-and-add (result wraps at the access size)."""
     mask = (1 << (8 * size)) - 1
-    return rmw(addr, lambda old: (old + delta) & mask, size=size,
+    return rmw(addr, FetchAddModify(delta, mask), size=size,
                need_value=False)
 
 
 def cas(addr: int, expect: int, new: int, size: int = 4) -> Op:
     """Compare-and-swap; the program checks the returned old value."""
-    return rmw(addr, lambda old: new if old == expect else old, size=size)
+    return rmw(addr, CasModify(expect, new), size=size)
 
 
 def compute(cycles: int) -> Op:

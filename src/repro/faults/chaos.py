@@ -30,7 +30,8 @@ from repro.check.fuzz import (
     FAMILIES,
     FuzzFailure,
     FuzzOp,
-    _build_programs,
+    _SchedulePrograms,
+    _translate,
     fuzz_config,
     make_schedule,
     render_schedule,
@@ -87,6 +88,7 @@ def run_chaos_case(
     mutation: Optional[str] = None,
     max_events: int = 5_000_000,
     differential: bool = False,
+    replay=None,
 ) -> ChaosRunReport:
     """Execute one schedule under ``plan`` (None = fault-free twin);
     never raises for protocol failures.
@@ -97,26 +99,71 @@ def run_chaos_case(
     accuracy — but memory bytes, the metadata subset property and mode
     purity must survive arbitrary fault injection (the paper's claim that
     faults degrade detection, never correctness).
+
+    ``replay`` (a :class:`repro.check.replay.PrefixReplayCache`) is
+    honoured only for fault-free or *scripted* plans — rate-based plans
+    consume injector RNG the cache's guards do not model.  Scripted-replay
+    shrinking (same schedule, varying fault script) resumes from the
+    deepest checkpoint whose decided-fault prefix matches the candidate
+    script; results are bit-for-bit identical to a cold run.
     """
     config = config or chaos_config(num_threads, shrunken_sam=shrunken_sam)
+    if replay is not None and plan is not None and plan.script is None:
+        replay = None  # unscripted plans draw RNG; prefix reuse is unsound
     with mutation_context(mutation):
-        machine = build_machine(config, mode)
-        programs, expectations = _build_programs(
-            schedule, num_threads, config)
-        machine.attach_programs(programs)
-        injector = FaultInjector(machine, plan) if plan is not None else None
-        sanitizer = Sanitizer(machine) if sanitize else None
-        fired: List[FiredFault] = []
-        try:
+        per_thread, expectations = _translate(schedule, num_threads, config)
+        factory = _SchedulePrograms(per_thread)
+        machine = None
+        resume = False
+        checkpoint_every = on_checkpoint = None
+        if replay is not None:
+            from repro.check.replay import (
+                CheckpointHook,
+                fault_script_set,
+                thread_keys,
+            )
+
+            keys = thread_keys(per_thread)
+            script = fault_script_set(plan)
+            plan_key = ((plan.delay_cycles, plan.state_period)
+                        if plan is not None else None)
+            context = ("chaos", mode.value, num_threads, bool(sanitize),
+                       mutation, plan_key, replay.config_key(config))
+            hit = replay.lookup(context, keys, fault_script=script)
+            if hit is not None:
+                machine = replay.restore(hit, factory)
+                resume = True
+                restored = machine.extras.get("injector")
+                if restored is not None:
+                    # The snapshot carries the script it was recorded
+                    # under; swap in the candidate's (the decided prefix
+                    # is identical by the guard, the future differs).
+                    restored.plan = plan
+                    restored._script = {(e.kind, e.opportunity)
+                                        for e in plan.script}
+            if replay.should_record(context, resumed=resume):
+                checkpoint_every = replay.checkpoint_every
+                on_checkpoint = CheckpointHook(replay, context, keys,
+                                               fault_script=script)
+        if machine is None:
+            machine = build_machine(config, mode)
+            machine.attach_programs(program_factory=factory)
             # Injector first: its state faults land before the sanitizer's
             # per-delivery checks of the same message, so corruption is
             # judged at the earliest possible instant.
-            if injector is not None:
-                injector.attach()
-            if sanitizer is not None:
-                sanitizer.attach()
+            if plan is not None:
+                machine.extras["injector"] = \
+                    FaultInjector(machine, plan).attach()
+            if sanitize:
+                machine.extras["sanitizer"] = Sanitizer(machine).attach()
+        injector = machine.extras.get("injector")
+        sanitizer = machine.extras.get("sanitizer")
+        fired: List[FiredFault] = []
+        try:
             try:
-                result = Simulator(machine, max_events=max_events).run()
+                result = Simulator(machine, max_events=max_events).run(
+                    resume=resume, checkpoint_every=checkpoint_every,
+                    on_checkpoint=on_checkpoint)
                 if sanitizer is not None:
                     sanitizer.check_all()
             except InvariantViolation as exc:
@@ -148,7 +195,10 @@ def run_chaos_case(
             from repro.check.diff import differential_check
             from repro.check.refmodel import run_reference
 
-            ref = run_reference(schedule, num_threads, config)
+            if replay is not None:
+                ref = replay.ref_run(schedule, num_threads, config)
+            else:
+                ref = run_reference(schedule, num_threads, config)
             diff = differential_check(machine, ref, image=image,
                                       check_verdicts=False,
                                       check_counters=False)
@@ -294,6 +344,7 @@ def chaos_campaign(
     differential: bool = False,
     shrink: bool = True,
     shrink_budget: int = 250,
+    replay: bool = True,
     progress: Optional[Callable[[int, str, ProtocolMode, ChaosRunReport],
                                 None]] = None,
 ) -> ChaosCampaignResult:
@@ -322,11 +373,16 @@ def chaos_campaign(
         plan = family_plan(fault_family, seed=case_seed,
                            intensity=intensity)
 
-        def run(the_plan: Optional[FaultPlan]) -> ChaosRunReport:
+        case_config = chaos_config(num_threads, shrunken_sam=shrunken_sam)
+
+        def run(the_plan: Optional[FaultPlan],
+                replay=None) -> ChaosRunReport:
             return run_chaos_case(
                 schedule, mode=mode, plan=the_plan,
-                num_threads=num_threads, shrunken_sam=shrunken_sam,
-                mutation=mutation, differential=differential)
+                num_threads=num_threads, config=case_config,
+                shrunken_sam=shrunken_sam,
+                mutation=mutation, differential=differential,
+                replay=replay)
 
         twin = run(None)
         faulted = run(plan)
@@ -354,12 +410,27 @@ def chaos_campaign(
                     faulted.stats, twin.stats, faulted.fired_by_kind())))
             continue
         # Faulted run failed: convert the fired faults to a script, verify
-        # the scripted replay still fails, then ddmin the event list.
+        # the scripted replay still fails, then ddmin the event list.  All
+        # scripted re-runs share one prefix-replay cache: the schedule is
+        # fixed, so candidates diverge only where their fault scripts do.
+        from repro.check.replay import PrefixReplayCache, shrink_evaluator
+
+        cache = PrefixReplayCache() if replay else None
         events = [f.event() for f in faulted.fired]
+        evaluate = shrink_evaluator(
+            cache,
+            lambda candidate, rc: run(
+                replace(plan, script=tuple(candidate)), replay=rc),
+            key_of=lambda candidate: tuple(
+                (e.kind, e.opportunity) for e in candidate),
+            # Candidates are fault-event lists over a fixed full-length
+            # schedule: anchoring always pays regardless of list size, and
+            # truncating the event list would change the script semantics,
+            # so the anchor replays it whole.
+            min_anchor=0, anchor_fraction=1.0)
 
         def still_fails(candidate: List[FaultEvent]) -> bool:
-            scripted = replace(plan, script=tuple(candidate))
-            return not run(scripted).ok
+            return not evaluate(candidate).ok
 
         shrunk = list(events)
         replayable = bool(events) and still_fails(events)

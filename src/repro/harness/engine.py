@@ -43,7 +43,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.common.errors import ReproError
 from repro.harness.export import record_from_dict, record_to_dict
-from repro.harness.runner import RunRecord, RunSpec, execute_spec
+from repro.harness.runner import (RunRecord, RunSpec, build_warm_snapshot,
+                                  execute_spec, warm_digest)
 
 #: Version stamp baked into every cache entry.  Bump on any change to the
 #: protocol engines, simulator timing or workloads so stale results are
@@ -87,6 +88,23 @@ def _timed_call(executor: Callable[[RunSpec], RunRecord],
     start = time.perf_counter()
     record = executor(spec)
     return record, time.perf_counter() - start
+
+
+class _WarmCall:
+    """Picklable executor binding one warm-start snapshot to a spec's run.
+
+    Travels into spawn workers whole: the snapshot payload is bytes, so a
+    worker forks the machine from the warmup point instead of re-simulating
+    the shared prefix."""
+
+    __slots__ = ("executor", "warm")
+
+    def __init__(self, executor, warm) -> None:
+        self.executor = executor
+        self.warm = warm
+
+    def __call__(self, spec: RunSpec) -> RunRecord:
+        return self.executor(spec, warm=self.warm)
 
 
 def _supervised_worker(executor: Callable[[RunSpec], RunRecord],
@@ -137,13 +155,18 @@ class Engine:
         self.retries = retries
         self.backoff = backoff
         #: Counters: simulations executed, cache hits, in-batch duplicates
-        #: absorbed, retries performed, corrupted cache entries quarantined
-        #: and runs killed on timeout.
+        #: absorbed, retries performed, corrupted cache entries quarantined,
+        #: runs killed on timeout, and warm-start snapshots built / reused
+        #: (``warm_hits`` counts forks that skipped warmup re-simulation).
         self.stats: Dict[str, int] = {"executed": 0, "cache_hits": 0,
                                       "deduped": 0, "retries": 0,
-                                      "quarantined": 0, "timeouts": 0}
+                                      "quarantined": 0, "timeouts": 0,
+                                      "warm_built": 0, "warm_hits": 0}
         #: Per-spec wall-clock seconds, keyed by ``spec.digest()``.
         self.timings: Dict[str, float] = {}
+        # Per-batch warm-start snapshots, keyed by spec (see
+        # :meth:`_prepare_warmups`).
+        self._warm: Dict[RunSpec, object] = {}
 
     # ------------------------------------------------------------- running
 
@@ -180,16 +203,18 @@ class Engine:
                 self._notify(done, total, spec, None, "cache")
 
         workers = self._resolve_jobs(jobs)
-        if pending and self.timeout is not None:
-            done = self._run_supervised(pending, workers, results,
-                                        done, total)
-        elif len(pending) > 1 and workers > 1:
-            done = self._run_parallel(pending, workers, results, done, total)
-        else:
-            for spec in pending:
-                record, seconds = self._attempt_with_retry(spec)
-                done = self._complete(spec, record, seconds, results,
-                                      done, total)
+        self._warm = self._prepare_warmups(pending)
+        try:
+            if pending and self.timeout is not None:
+                done = self._run_supervised(pending, workers, results,
+                                            done, total)
+            elif len(pending) > 1 and workers > 1:
+                done = self._run_parallel(pending, workers, results,
+                                          done, total)
+            else:
+                done = self._run_serial(pending, results, done, total)
+        finally:
+            self._warm = {}
         return [results[spec] for spec in specs]
 
     def run_keyed(self, keyed_specs: Dict[object, RunSpec],
@@ -207,13 +232,45 @@ class Engine:
             jobs = os.cpu_count() or 1
         return jobs
 
+    def _exec_for(self, spec: RunSpec) -> Callable[[RunSpec], RunRecord]:
+        """The executor to use for ``spec`` — wrapped with its warm-start
+        snapshot when one was prepared for this batch."""
+        warm = self._warm.get(spec)
+        if warm is None:
+            return self._executor
+        return _WarmCall(self._executor, warm)
+
+    def _run_serial(self, pending: List[RunSpec],
+                    results: Dict[RunSpec, RunRecord],
+                    done: int, total: int) -> int:
+        """Serial drain.  A failing spec no longer aborts the batch
+        mid-flight: the remaining specs still run (and their records reach
+        the result cache) before the first failure is raised with
+        ``EngineError.partial`` set."""
+        failures: List[EngineError] = []
+        for spec in pending:
+            try:
+                record, seconds = self._attempt_with_retry(spec)
+            except EngineError as exc:
+                failures.append(exc)
+                continue
+            done = self._complete(spec, record, seconds, results,
+                                  done, total)
+        if failures:
+            first = failures[0]
+            first.partial = dict(results)
+            raise first
+        return done
+
     def _run_parallel(self, pending: List[RunSpec], workers: int,
                       results: Dict[RunSpec, RunRecord],
                       done: int, total: int) -> int:
+        failures: List[EngineError] = []
         ctx = get_context("spawn")  # import-clean workers on every platform
         with ProcessPoolExecutor(max_workers=min(workers, len(pending)),
                                  mp_context=ctx) as pool:
-            futures = {pool.submit(_timed_call, self._executor, spec): spec
+            futures = {pool.submit(_timed_call, self._exec_for(spec),
+                                   spec): spec
                        for spec in pending}
             for future in as_completed(futures):
                 spec = futures[future]
@@ -221,24 +278,35 @@ class Engine:
                     record, seconds = future.result()
                 except Exception as exc:
                     # Worker crashed or raised: retry once in the parent so
-                    # a broken pool cannot take the whole batch down.
-                    record, seconds = self._retry_in_parent(spec, exc)
+                    # a broken pool cannot take the whole batch down.  The
+                    # batch still drains; completed records are cached and
+                    # the first failure raised afterwards with ``partial``.
+                    try:
+                        record, seconds = self._retry_in_parent(spec, exc)
+                    except EngineError as err:
+                        failures.append(err)
+                        continue
                 done = self._complete(spec, record, seconds, results,
                                       done, total)
+        if failures:
+            first = failures[0]
+            first.partial = dict(results)
+            raise first
         return done
 
     def _attempt_with_retry(self, spec: RunSpec) -> tuple:
         try:
-            return _timed_call(self._executor, spec)
+            return _timed_call(self._exec_for(spec), spec)
         except Exception as exc:
             return self._retry_in_parent(spec, exc)
 
     def _retry_in_parent(self, spec: RunSpec, first: BaseException) -> tuple:
+        executor = self._exec_for(spec)
         for attempt in range(1, self.retries + 1):
             self.stats["retries"] += 1
             time.sleep(self.backoff * (2 ** (attempt - 1)))
             try:
-                return _timed_call(self._executor, spec)
+                return _timed_call(executor, spec)
             except Exception as exc:
                 first = exc
         raise EngineError(spec, attempts=self.retries + 1,
@@ -286,7 +354,8 @@ class Engine:
                 spec, attempt = ready.popleft()
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 proc = ctx.Process(target=_supervised_worker,
-                                   args=(self._executor, spec, child_conn))
+                                   args=(self._exec_for(spec), spec,
+                                         child_conn))
                 proc.start()
                 child_conn.close()
                 deadline = now + self.timeout
@@ -345,6 +414,92 @@ class Engine:
                 seconds: Optional[float], source: str) -> None:
         if self.progress is not None:
             self.progress(done, total, spec, seconds, source)
+
+    # ---------------------------------------------------------- warm start
+
+    def _prepare_warmups(self, pending: Sequence[RunSpec]) -> Dict[RunSpec,
+                                                                   object]:
+        """Build (or recall) one warm-start snapshot per :func:`warm_digest`
+        group among ``pending`` and map each spec to its snapshot.
+
+        N sweep points sharing a warmup prefix simulate it once and fork.
+        Any failure to build or load a snapshot falls back to cold
+        execution for that group — warm start is an optimisation, never a
+        correctness dependency.  Warm snapshots only apply to the default
+        :func:`execute_spec` executor (custom executors do not take a
+        ``warm`` argument)."""
+        if self._executor is not execute_spec:
+            return {}
+        groups: Dict[str, List[RunSpec]] = {}
+        for spec in pending:
+            if spec.warmup > 0:
+                groups.setdefault(warm_digest(spec), []).append(spec)
+        out: Dict[RunSpec, object] = {}
+        for digest, members in groups.items():
+            snap = self._warm_get(digest)
+            if snap is None:
+                try:
+                    snap = build_warm_snapshot(members[0])
+                except Exception as exc:  # noqa: BLE001 - cold fallback
+                    _log.warning("warm-start snapshot for %s failed (%s); "
+                                 "running cold", digest,
+                                 f"{type(exc).__name__}: {exc}")
+                    continue
+                self.stats["warm_built"] += 1
+                self._warm_put(digest, snap)
+            else:
+                self.stats["warm_hits"] += 1
+            for spec in members:
+                out[spec] = snap
+        return out
+
+    def _warm_path(self, digest: str) -> Optional[pathlib.Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"warm_{digest}.pkl"
+
+    def _warm_get(self, digest: str):
+        """Load a warm snapshot from the disk cache; quarantine corrupt
+        entries (same policy as the JSON result cache)."""
+        import pickle
+
+        from repro.system.snapshot import MachineSnapshot
+
+        path = self._warm_path(digest)
+        if path is None or not path.exists():
+            return None
+        try:
+            data = pickle.loads(path.read_bytes())
+        except Exception:  # noqa: BLE001 - any unpickling failure
+            self._quarantine(path, "undecodable warm snapshot")
+            return None
+        if (not isinstance(data, dict)
+                or data.get("code_version") != CODE_VERSION):
+            return None  # stale: rebuild and overwrite
+        try:
+            return MachineSnapshot(payload=data["payload"],
+                                   cycle=data["cycle"],
+                                   executed=data["executed"])
+        except (KeyError, TypeError):
+            self._quarantine(path, "malformed warm snapshot")
+            return None
+
+    def _warm_put(self, digest: str, snap) -> None:
+        import pickle
+
+        path = self._warm_path(digest)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_bytes(pickle.dumps({
+                "code_version": CODE_VERSION, "payload": snap.payload,
+                "cycle": snap.cycle, "executed": snap.executed}))
+            os.replace(tmp, path)
+        except OSError as exc:
+            _log.warning("could not persist warm snapshot %s (%s)",
+                         digest, exc)
 
     # --------------------------------------------------------------- cache
 

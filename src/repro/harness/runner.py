@@ -55,6 +55,12 @@ class RunSpec:
     #: Observation never changes simulated behaviour; the payload lands in
     #: ``RunRecord.extra["obs"]``.
     obs: Optional[ObsConfig] = None
+    #: Warm-start split point in cycles.  When nonzero, the engine may run
+    #: the machine to this cycle once, snapshot it, and fork every spec
+    #: sharing the same warm digest (see :func:`warm_digest`) from that
+    #: snapshot instead of re-simulating the prefix.  0 = always cold.
+    #: Results are bit-for-bit identical either way.
+    warmup: int = 0
 
     #: Valid ``layout`` / ``core_model`` values (fail at construction, not
     #: deep inside a worker process half a batch later).
@@ -85,6 +91,9 @@ class RunSpec:
         if self.ooo_window < 1:
             raise ConfigError(
                 f"RunSpec.ooo_window={self.ooo_window} must be >= 1")
+        if self.warmup < 0:
+            raise ConfigError(
+                f"RunSpec.warmup={self.warmup} must be >= 0")
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe plain-dict form (inverse of :meth:`from_dict`)."""
@@ -101,9 +110,12 @@ class RunSpec:
             "verify": self.verify,
         }
         # Only serialized when set, so pre-observability digests (golden
-        # cycle-identity table, cached results) stay valid verbatim.
+        # cycle-identity table, cached results) stay valid verbatim; same
+        # for ``warmup``, which does not change the simulated outcome.
         if self.obs is not None:
             d["obs"] = asdict(self.obs)
+        if self.warmup:
+            d["warmup"] = self.warmup
         return d
 
     @classmethod
@@ -121,6 +133,7 @@ class RunSpec:
             verify=data["verify"],
             obs=(ObsConfig(**data["obs"]) if data.get("obs") is not None
                  else None),
+            warmup=data.get("warmup", 0),
         )
 
     def digest(self) -> str:
@@ -159,50 +172,128 @@ class RunRecord:
         return self.energy_nj / baseline.energy_nj
 
 
-def execute_spec(spec: RunSpec) -> RunRecord:
+class _WorkloadPrograms:
+    """Picklable thread-program factory for a workload spec.
+
+    Machines attached through this factory can be snapshot/restored: the
+    factory travels inside the snapshot and rebuilds identical generators
+    (workload construction is deterministic in its arguments) which each
+    core then fast-forwards via its recorded send history.
+    """
+
+    __slots__ = ("tag", "num_threads", "scale", "layout", "seed")
+
+    def __init__(self, tag: str, num_threads: int, scale: float,
+                 layout: str, seed: int) -> None:
+        self.tag = tag
+        self.num_threads = num_threads
+        self.scale = scale
+        self.layout = layout
+        self.seed = seed
+
+    def __call__(self):
+        return make_workload(self.tag, num_threads=self.num_threads,
+                             scale=self.scale, layout=self.layout,
+                             seed=self.seed).programs()
+
+    def __getstate__(self):
+        return (self.tag, self.num_threads, self.scale, self.layout,
+                self.seed)
+
+    def __setstate__(self, state):
+        (self.tag, self.num_threads, self.scale, self.layout,
+         self.seed) = state
+
+
+def warm_digest(spec: RunSpec) -> str:
+    """Key of the warm-start snapshot ``spec`` can fork from.
+
+    Everything that shapes the simulation up to the ``warmup`` cycle is
+    included; ``verify`` is not (it only affects post-run checking), so
+    verified and unverified sweep points share one warm snapshot.
+    """
+    d = spec.to_dict()
+    d.pop("verify", None)
+    payload = json.dumps(d, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def _build_and_attach(spec: RunSpec):
+    """Build the machine for ``spec`` with programs and instruments
+    attached (sanitizer/observers land in ``machine.extras`` so they
+    travel with snapshots).  Returns the machine, not yet started."""
+    machine = build_machine(spec.config, spec.mode)
+    machine.attach_programs(
+        program_factory=_WorkloadPrograms(spec.tag, spec.num_threads,
+                                          spec.scale, spec.layout, spec.seed),
+        core_model=spec.core_model, ooo_window=spec.ooo_window)
+    if spec.config.sanitizer.enabled:
+        # Imported lazily: the sanitizer is opt-in and nothing on the plain
+        # simulation path should pay for the check package.
+        from repro.check.sanitizer import Sanitizer
+
+        machine.extras["sanitizer"] = Sanitizer(machine).attach()
+    if spec.obs is not None:
+        # Same lazy-import rationale as the sanitizer above.
+        from repro.obs import EpisodeTracker, MetricsSampler
+
+        if spec.obs.episodes:
+            machine.extras["tracker"] = EpisodeTracker(machine).attach()
+        if spec.obs.metrics:
+            machine.extras["sampler"] = MetricsSampler(
+                machine, period=spec.obs.sample_period).attach()
+    return machine
+
+
+def build_warm_snapshot(spec: RunSpec):
+    """Run ``spec``'s machine to its ``warmup`` cycle and snapshot it.
+
+    The snapshot captures cores mid-program, in-flight messages, pending
+    events and attached instruments; any spec with the same
+    :func:`warm_digest` can resume from it bit-for-bit."""
+    if spec.warmup <= 0:
+        raise ConfigError("build_warm_snapshot needs spec.warmup > 0")
+    machine = _build_and_attach(spec)
+    for core in machine.cores:
+        core.start()
+    machine.queue.run(until=spec.warmup)
+    return machine.snapshot()
+
+
+def execute_spec(spec: RunSpec, warm=None) -> RunRecord:
     """Build, run and (optionally) verify the simulation ``spec`` describes.
 
     ``spec.verify`` checks the final coherent memory image against the
     workload's expected result — a full end-to-end coherence check on every
     harness run.  This is the single place simulations actually happen; the
     engine calls it (possibly in a worker process) and everything else goes
-    through the engine.
+    through the engine.  ``warm`` is an optional
+    :class:`~repro.system.snapshot.MachineSnapshot` built by
+    :func:`build_warm_snapshot` for this spec's :func:`warm_digest`.
     """
-    record, _machine = execute_spec_with_machine(spec)
+    record, _machine = execute_spec_with_machine(spec, warm=warm)
     return record
 
 
-def execute_spec_with_machine(spec: RunSpec):
+def execute_spec_with_machine(spec: RunSpec, warm=None):
     """Like :func:`execute_spec` but also returns the finished
     :class:`~repro.system.builder.Machine` for post-run inspection (the
     differential oracle reads caches, SAM/PAM tables and network
     accounting after the run).  Returns ``(record, machine)``.
     """
-    workload = make_workload(spec.tag, num_threads=spec.num_threads,
-                             scale=spec.scale, layout=spec.layout,
-                             seed=spec.seed)
-    machine = build_machine(spec.config, spec.mode)
-    machine.attach_programs(workload.programs(), core_model=spec.core_model,
-                            ooo_window=spec.ooo_window)
-    sanitizer = None
-    if spec.config.sanitizer.enabled:
-        # Imported lazily: the sanitizer is opt-in and nothing on the plain
-        # simulation path should pay for the check package.
-        from repro.check.sanitizer import Sanitizer
+    if warm is not None:
+        from repro.system.builder import Machine
 
-        sanitizer = Sanitizer(machine).attach()
-    tracker = sampler = None
-    if spec.obs is not None:
-        # Same lazy-import rationale as the sanitizer above.
-        from repro.obs import EpisodeTracker, MetricsSampler
-
-        if spec.obs.episodes:
-            tracker = EpisodeTracker(machine).attach()
-        if spec.obs.metrics:
-            sampler = MetricsSampler(
-                machine, period=spec.obs.sample_period).attach()
+        machine = Machine.restore(warm)
+        resume = True
+    else:
+        machine = _build_and_attach(spec)
+        resume = False
+    sanitizer = machine.extras.get("sanitizer")
+    tracker = machine.extras.get("tracker")
+    sampler = machine.extras.get("sampler")
     try:
-        result = Simulator(machine).run()
+        result = Simulator(machine).run(resume=resume)
         if sanitizer is not None:
             sanitizer.check_all()
     finally:
@@ -215,6 +306,9 @@ def execute_spec_with_machine(spec: RunSpec):
             sampler.finish(machine.queue.now)
             sampler.detach()
     if spec.verify:
+        workload = make_workload(spec.tag, num_threads=spec.num_threads,
+                                 scale=spec.scale, layout=spec.layout,
+                                 seed=spec.seed)
         workload.verify(flush_machine_memory(machine))
     record = RunRecord(tag=spec.tag, mode=spec.mode, layout=spec.layout,
                        cycles=result.cycles, stats=result.stats,

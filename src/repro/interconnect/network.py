@@ -17,6 +17,7 @@ tracker; see :mod:`repro.obs`) is attached.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
@@ -234,10 +235,11 @@ class Network:
         self._last_delivery[key] = arrival
         if not self._hooked:
             # Fast path: no tracer/sanitizer attached — the scheduled event
-            # invokes the destination handler directly.
-            self._queue.schedule_at(arrival, lambda: handler(msg))
+            # invokes the destination handler directly.  partial (not a
+            # lambda) so in-flight deliveries survive machine snapshots.
+            self._queue.schedule_at(arrival, partial(handler, msg))
             return
-        self._queue.schedule_at(arrival, lambda: self._deliver(handler, msg))
+        self._queue.schedule_at(arrival, partial(self._deliver, handler, msg))
         for hook in self.post_send_hooks:
             hook(msg)
 

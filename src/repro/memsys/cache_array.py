@@ -19,6 +19,7 @@ Two hot-path properties:
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Generic, Iterator, List, Optional, Sequence, TypeVar
 
 from repro.memsys.replacement import ReplacementPolicy, make_policy
@@ -93,7 +94,8 @@ class CacheArray(Generic[T]):
             self._set_mask = 0
             self._tag_shift = 0
         if policy_factory is None:
-            policy_factory = lambda ways: make_policy(policy, ways)  # noqa: E731
+            # partial (not a lambda) so the array pickles with the machine.
+            policy_factory = partial(make_policy, policy)
         self._policy_factory = policy_factory
         #: Sets (and their policies) materialize on first touch.
         self._sets: List[Optional[List[CacheEntry[T]]]] = [None] * num_sets

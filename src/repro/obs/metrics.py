@@ -40,6 +40,134 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         self.value += amount
 
+    def __getstate__(self):
+        return (self.name, self.value)
+
+    def __setstate__(self, state):
+        self.name, self.value = state
+
+
+# -- picklable metric sources -------------------------------------------------
+#
+# Zero-argument callables registered as counter/gauge sources.  These are
+# ``__slots__`` classes instead of closures so an attached MetricsSampler
+# (and the registry it owns) survives machine snapshots.
+
+
+class _CounterValue:
+    __slots__ = ("counter",)
+
+    def __init__(self, counter: Counter) -> None:
+        self.counter = counter
+
+    def __call__(self) -> float:
+        return self.counter.value
+
+    def __getstate__(self):
+        return self.counter
+
+    def __setstate__(self, state):
+        self.counter = state
+
+
+class _StatSum:
+    """Sum of one stats-dict key over a list of controllers."""
+
+    __slots__ = ("parts", "key")
+
+    def __init__(self, parts, key: str) -> None:
+        self.parts = parts
+        self.key = key
+
+    def __call__(self) -> int:
+        key = self.key
+        return sum(part.stats[key] for part in self.parts)
+
+    def __getstate__(self):
+        return (self.parts, self.key)
+
+    def __setstate__(self, state):
+        self.parts, self.key = state
+
+
+class _StatKeysSum:
+    """Sum of several stats-dict keys over a list of controllers."""
+
+    __slots__ = ("parts", "keys")
+
+    def __init__(self, parts, keys) -> None:
+        self.parts = parts
+        self.keys = list(keys)
+
+    def __call__(self) -> int:
+        return sum(part.stats[key] for part in self.parts
+                   for key in self.keys)
+
+    def __getstate__(self):
+        return (self.parts, self.keys)
+
+    def __setstate__(self, state):
+        self.parts, self.keys = state
+
+
+class _NetworkTotal:
+    __slots__ = ("network", "attr")
+
+    def __init__(self, network, attr: str) -> None:
+        self.network = network
+        self.attr = attr
+
+    def __call__(self) -> int:
+        return getattr(self.network.stats, self.attr)
+
+    def __getstate__(self):
+        return (self.network, self.attr)
+
+    def __setstate__(self, state):
+        self.network, self.attr = state
+
+
+class _DetectorSum:
+    """Sum of one detector attribute (int or sized container) over slices."""
+
+    __slots__ = ("detectors", "attr")
+
+    def __init__(self, detectors, attr: str) -> None:
+        self.detectors = detectors
+        self.attr = attr
+
+    def __call__(self) -> int:
+        total = 0
+        for det in self.detectors:
+            value = getattr(det, self.attr)
+            total += value if isinstance(value, int) else len(value)
+        return total
+
+    def __getstate__(self):
+        return (self.detectors, self.attr)
+
+    def __setstate__(self, state):
+        self.detectors, self.attr = state
+
+
+class _PrvBlockGauge:
+    __slots__ = ("slices",)
+
+    def __init__(self, slices) -> None:
+        self.slices = slices
+
+    def __call__(self) -> int:
+        from repro.coherence.states import DirState
+
+        return sum(1 for sl in self.slices for entry in sl.llc.iter_valid()
+                   if entry.payload.state is DirState.PRV)
+
+    def __getstate__(self):
+        return self.slices
+
+    def __setstate__(self, state):
+        self.slices = state
+
 
 class MetricsRegistry:
     """Named counter/gauge sources polled into a time series.
@@ -70,7 +198,7 @@ class MetricsRegistry:
             self._register(name, source, COUNTER)
             return None
         owned = Counter(name)
-        self._register(name, lambda: owned.value, COUNTER)
+        self._register(name, _CounterValue(owned), COUNTER)
         return owned
 
     def gauge(self, name: str, source: Callable[[], float]) -> None:
@@ -123,7 +251,6 @@ class MetricsSampler(Observer):
     # -- default sources ---------------------------------------------------
 
     def _register_machine_sources(self) -> None:
-        from repro.coherence.states import DirState
         from repro.common.statkeys import (
             CORE_CHK_MISSES,
             CORE_HITS,
@@ -142,38 +269,28 @@ class MetricsSampler(Observer):
         reg = self.registry
         l1s, slices, net = machine.l1s, machine.slices, machine.network
 
-        def core_sum(key: str) -> Callable[[], int]:
-            return lambda: sum(l1.stats[key] for l1 in l1s)
-
-        def slice_sum(key: str) -> Callable[[], int]:
-            return lambda: sum(sl.stats[key] for sl in slices)
-
-        reg.counter("network.msgs_total", lambda: net.stats.total_messages)
-        reg.counter("network.bytes_total", lambda: net.stats.total_bytes)
-        reg.counter("l1.hits", core_sum(CORE_HITS))
-        reg.counter("l1.misses", core_sum(CORE_MISSES))
-        reg.counter("l1.chk_misses", core_sum(CORE_CHK_MISSES))
+        reg.counter("network.msgs_total", _NetworkTotal(net, "total_messages"))
+        reg.counter("network.bytes_total", _NetworkTotal(net, "total_bytes"))
+        reg.counter("l1.hits", _StatSum(l1s, CORE_HITS))
+        reg.counter("l1.misses", _StatSum(l1s, CORE_MISSES))
+        reg.counter("l1.chk_misses", _StatSum(l1s, CORE_CHK_MISSES))
         for l1 in l1s:
-            stats = l1.stats
             reg.counter(
                 f"core{l1.core_id}.accesses",
-                lambda stats=stats: (stats[CORE_LOADS] + stats[CORE_STORES]
-                                     + stats[CORE_RMWS]))
-        reg.counter("dir.privatizations", slice_sum(SLICE_PRIVATIZATIONS))
-        reg.counter("dir.prv_joins", slice_sum(SLICE_PRV_JOINS))
-        reg.counter("dir.chk_fail", slice_sum(SLICE_CHK_FAIL))
+                _StatKeysSum([l1], (CORE_LOADS, CORE_STORES, CORE_RMWS)))
+        reg.counter("dir.privatizations",
+                    _StatSum(slices, SLICE_PRIVATIZATIONS))
+        reg.counter("dir.prv_joins", _StatSum(slices, SLICE_PRV_JOINS))
+        reg.counter("dir.chk_fail", _StatSum(slices, SLICE_CHK_FAIL))
         term_keys = [term_key(cause) for cause in TERM_CAUSES]
-        reg.counter("dir.terminations", lambda: sum(
-            sl.stats[key] for sl in slices for key in term_keys))
+        reg.counter("dir.terminations", _StatKeysSum(slices, term_keys))
         detectors = [sl.detector for sl in slices if sl.detector is not None]
         if detectors:
-            reg.counter("fsdetect.reports", lambda: sum(
-                len(d.reports) for d in detectors))
-            reg.counter("fsdetect.metadata_resets", lambda: sum(
-                d.metadata_resets for d in detectors))
-            reg.gauge("fsdetect.prv_blocks", lambda: sum(
-                1 for sl in slices for entry in sl.llc.iter_valid()
-                if entry.payload.state is DirState.PRV))
+            reg.counter("fsdetect.reports",
+                        _DetectorSum(detectors, "reports"))
+            reg.counter("fsdetect.metadata_resets",
+                        _DetectorSum(detectors, "metadata_resets"))
+            reg.gauge("fsdetect.prv_blocks", _PrvBlockGauge(slices))
 
     # -- observer callbacks ------------------------------------------------
 

@@ -29,6 +29,15 @@ class Machine:
     l1s: List[L1Controller]
     slices: List[DirectorySlice]
     cores: list = field(default_factory=list)
+    #: Attached auxiliaries that must travel with snapshots (sanitizer,
+    #: observers, fault injector) — anything holding mutable run state
+    #: that references, or is referenced by, the protocol object graph.
+    extras: dict = field(default_factory=dict)
+    #: Zero-argument callable rebuilding the thread-program generators
+    #: (one per attached core, same order).  Required for snapshot/restore:
+    #: generators don't pickle, so restore re-creates them from this
+    #: factory and replays each core's recorded send history.
+    program_factory: Optional[Callable[[], List[ThreadProgram]]] = None
 
     def home_slice(self, block_addr: int) -> DirectorySlice:
         return self.slices[slice_index(
@@ -36,15 +45,26 @@ class Machine:
 
     def attach_programs(
         self,
-        programs: List[ThreadProgram],
+        programs: Optional[List[ThreadProgram]] = None,
         core_model: str = "inorder",
         ooo_window: int = 8,
+        program_factory: Optional[Callable[[], List[ThreadProgram]]] = None,
     ) -> None:
         """Bind one thread program per core (programs may be fewer than
-        cores; extra cores stay idle)."""
+        cores; extra cores stay idle).
+
+        Pass ``program_factory`` (a picklable zero-argument callable
+        returning a fresh list of generators) to make the machine
+        snapshot-capable; ``programs`` then defaults to ``factory()``.
+        """
+        if programs is None:
+            if program_factory is None:
+                raise ValueError("need programs or a program_factory")
+            programs = program_factory()
         if len(programs) > self.config.num_cores:
             raise ValueError(
                 f"{len(programs)} programs for {self.config.num_cores} cores")
+        self.program_factory = program_factory
         self.cores = []
         for core_id, program in enumerate(programs):
             if core_model == "inorder":
@@ -56,6 +76,25 @@ class Machine:
             else:
                 raise ValueError(f"unknown core model {core_model!r}")
             self.cores.append(core)
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot(self):
+        """Capture the full machine state as a
+        :class:`~repro.system.snapshot.MachineSnapshot` (see that module
+        for the determinism contract)."""
+        from repro.system.snapshot import take_snapshot
+
+        return take_snapshot(self)
+
+    @staticmethod
+    def restore(snap) -> "Machine":
+        """Rebuild a machine from a snapshot.  The returned machine is an
+        independent object graph; resuming it is bit-for-bit identical to
+        never having snapshotted."""
+        from repro.system.snapshot import restore_snapshot
+
+        return restore_snapshot(snap)
 
     def all_reports(self):
         reports = []
@@ -71,6 +110,28 @@ class Machine:
         return observer.attach()
 
 
+class _HomeMap:
+    """Picklable block-address -> home-node-id mapping for L1 controllers."""
+
+    __slots__ = ("num_cores", "block_size", "num_slices")
+
+    def __init__(self, num_cores: int, block_size: int,
+                 num_slices: int) -> None:
+        self.num_cores = num_cores
+        self.block_size = block_size
+        self.num_slices = num_slices
+
+    def __call__(self, block_addr: int) -> int:
+        return self.num_cores + slice_index(
+            block_addr, self.block_size, self.num_slices)
+
+    def __getstate__(self):
+        return (self.num_cores, self.block_size, self.num_slices)
+
+    def __setstate__(self, state):
+        self.num_cores, self.block_size, self.num_slices = state
+
+
 def build_machine(config: SystemConfig, mode: ProtocolMode = ProtocolMode.MESI,
                   queue: Optional[EventQueue] = None) -> Machine:
     """Construct a machine per ``config`` running protocol ``mode``."""
@@ -80,10 +141,8 @@ def build_machine(config: SystemConfig, mode: ProtocolMode = ProtocolMode.MESI,
     memory = MainMemory(block_size=config.block_size,
                         latency=config.memory_latency)
 
-    def home_of(block_addr: int) -> int:
-        return config.num_cores + slice_index(
-            block_addr, config.block_size, config.num_llc_slices)
-
+    home_of = _HomeMap(config.num_cores, config.block_size,
+                       config.num_llc_slices)
     l1s = [
         L1Controller(core_id, config, mode, queue, network, home_of)
         for core_id in range(config.num_cores)

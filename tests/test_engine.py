@@ -105,7 +105,8 @@ class TestCache:
         rec1 = first.run_one(spec)
         assert first.stats == {"executed": 1, "cache_hits": 0,
                                "deduped": 0, "retries": 0,
-                               "quarantined": 0, "timeouts": 0}
+                               "quarantined": 0, "timeouts": 0,
+                               "warm_built": 0, "warm_hits": 0}
         second = Engine(cache_dir=tmp_path)
         rec2 = second.run_one(spec)
         assert second.stats["cache_hits"] == 1
