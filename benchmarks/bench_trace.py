@@ -1,0 +1,243 @@
+"""Trace engine benchmarks: codec throughput and streamed-replay memory.
+
+Tracks the cost of the binary ``.rtrace`` layer (`workloads/trace.py`):
+how fast traces are synthesized, scanned and decoded, how fast the
+simulator replays a streamed trace, and — the headline — that streamed
+replay runs in **bounded memory**: peak RSS stays flat as the trace grows,
+while the in-memory equivalent (materialising every op list up front with
+``read_trace``) grows linearly.
+
+Usage (appends one labelled snapshot to the machine-readable trajectory)::
+
+    python benchmarks/bench_trace.py --label my-change
+    python benchmarks/bench_trace.py --quick --label ci
+
+Sections:
+
+* ``codec`` — synthesis, verify-scan and full-decode throughput in
+  ops/sec plus the on-disk compression (bytes/op) for one trace size.
+* ``capture_overhead`` — ``record_trace`` (live run + pass-through tap)
+  vs the plain live run of the same spec; the tap must stay a small
+  constant factor.
+* ``streamed_replay`` — per trace length, a fresh subprocess replays the
+  trace (a) streaming through ``TraceWorkload`` and (b) after
+  materialising all op lists in memory; each reports wall-clock and
+  ``ru_maxrss``.  The committed full-mode results include a >= 1M-op
+  entry whose streamed peak RSS matches the smallest length's — that is
+  the bounded-memory claim, pinned in numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # script run without PYTHONPATH=src
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.coherence.states import ProtocolMode
+from repro.harness.runner import RunSpec, execute_spec
+from repro.workloads.trace import (
+    SharingProfile,
+    read_trace,
+    record_trace,
+    synthesize_trace,
+    trace_spec,
+    verify_trace,
+)
+
+SRC_DIR = pathlib.Path(__file__).parent.parent / "src"
+DEFAULT_OUT = (pathlib.Path(__file__).parent / "results"
+               / "BENCH_trace.json")
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def _profile(total_ops: int, seed: int = 1) -> SharingProfile:
+    return SharingProfile(num_threads=4, ops_per_thread=total_ops // 4,
+                          seed=seed)
+
+
+# ------------------------------------------------------------------ codec
+
+def bench_codec(total_ops: int, workdir: pathlib.Path) -> dict:
+    path = workdir / f"codec_{total_ops}.rtrace"
+    info, synth_s = _timed(synthesize_trace, _profile(total_ops), path)
+    _, verify_s = _timed(verify_trace, path)
+    (_, streams), decode_s = _timed(read_trace, path)
+    assert sum(len(s) for s in streams) == info.total_ops
+    size = path.stat().st_size
+    return {
+        "total_ops": info.total_ops,
+        "file_bytes": size,
+        "bytes_per_op": round(size / info.total_ops, 3),
+        "synthesize_ops_per_sec": round(info.total_ops / synth_s),
+        "verify_ops_per_sec": round(info.total_ops / verify_s),
+        "decode_ops_per_sec": round(info.total_ops / decode_s),
+    }
+
+
+# ------------------------------------------------- capture overhead
+
+def bench_capture_overhead(workdir: pathlib.Path) -> dict:
+    """record_trace = live run + pass-through tap + encoder; the overhead
+    over the plain live run is the tap's cost."""
+    spec = RunSpec(tag="RC", mode=ProtocolMode.FSDETECT, scale=0.25)
+    plain, plain_s = _timed(execute_spec, spec)
+    (info, record), rec_s = _timed(
+        record_trace, spec, workdir / "capture.rtrace")
+    assert record.cycles == plain.cycles, \
+        "capture tap changed simulation behaviour"
+    return {
+        "tag": spec.tag,
+        "ops": info.total_ops,
+        "live_ms": round(plain_s * 1000, 1),
+        "record_ms": round(rec_s * 1000, 1),
+        "overhead_x": round(rec_s / plain_s, 2),
+    }
+
+
+# ------------------------------------------------- streamed replay / RSS
+
+_WORKER = r"""
+import json, resource, sys, time
+
+path, variant = sys.argv[1], sys.argv[2]
+from repro.workloads.trace import read_trace, trace_info, trace_spec
+from repro.harness.runner import execute_spec
+
+total = trace_info(path).total_ops
+spec = trace_spec(path)
+start = time.perf_counter()
+if variant == "inmem":
+    info, streams = read_trace(path)  # materialise every op list up front
+    record = execute_spec(spec)
+    assert sum(len(s) for s in streams) == total  # keep streams alive
+else:
+    record = execute_spec(spec)
+seconds = time.perf_counter() - start
+print(json.dumps({
+    "ops": total,
+    "cycles": record.cycles,
+    "seconds": round(seconds, 3),
+    "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}))
+"""
+
+
+def _replay_subprocess(path: pathlib.Path, variant: str) -> dict:
+    """Replay in a fresh interpreter so ru_maxrss isolates this one run."""
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _WORKER, str(path), variant],
+        capture_output=True, text=True, env=env, check=True)
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def bench_streamed_replay(lengths, workdir: pathlib.Path) -> dict:
+    per_length = {}
+    for total_ops in lengths:
+        path = workdir / f"replay_{total_ops}.rtrace"
+        synthesize_trace(_profile(total_ops), path)
+        stream = _replay_subprocess(path, "stream")
+        inmem = _replay_subprocess(path, "inmem")
+        assert stream["cycles"] == inmem["cycles"], \
+            "streamed and in-memory replay diverged"
+        per_length[str(total_ops)] = {
+            "ops": stream["ops"],
+            "cycles": stream["cycles"],
+            "streamed_seconds": stream["seconds"],
+            "streamed_ops_per_sec": round(stream["ops"] / stream["seconds"]),
+            "streamed_maxrss_mb": round(stream["maxrss_kb"] / 1024, 1),
+            "inmem_seconds": inmem["seconds"],
+            "inmem_maxrss_mb": round(inmem["maxrss_kb"] / 1024, 1),
+        }
+    smallest = per_length[str(lengths[0])]
+    largest = per_length[str(lengths[-1])]
+    return {
+        "per_length": per_length,
+        # The bounded-memory claim: streamed peak RSS of the largest trace
+        # over the smallest.  ~1.0 means RSS is independent of length.
+        "streamed_rss_growth": round(
+            largest["streamed_maxrss_mb"] / smallest["streamed_maxrss_mb"],
+            2),
+        "inmem_rss_growth": round(
+            largest["inmem_maxrss_mb"] / smallest["inmem_maxrss_mb"], 2),
+    }
+
+
+# ------------------------------------------------------------------ driver
+
+def run_suite(quick: bool = False) -> dict:
+    lengths = [50_000, 200_000] if quick else [100_000, 400_000, 1_000_000]
+    with tempfile.TemporaryDirectory(prefix="bench_trace_") as tmp:
+        workdir = pathlib.Path(tmp)
+        return {
+            "codec": bench_codec(100_000 if quick else 400_000, workdir),
+            "capture_overhead": bench_capture_overhead(workdir),
+            "streamed_replay": bench_streamed_replay(lengths, workdir),
+            "quick": quick,
+        }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="local",
+                        help="snapshot label recorded in the trajectory")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller trace lengths (CI smoke)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help=f"trajectory JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    snapshot = run_suite(quick=args.quick)
+    snapshot["label"] = args.label
+    snapshot["python"] = platform.python_version()
+    snapshot["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+
+    data = {"schema": 1, "snapshots": []}
+    if args.out.exists():
+        data = json.loads(args.out.read_text())
+    data["snapshots"].append(snapshot)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(data, indent=1) + "\n")
+
+    codec = snapshot["codec"]
+    print(f"codec {codec['total_ops']:,} ops: "
+          f"synth {codec['synthesize_ops_per_sec']:,}/s "
+          f"verify {codec['verify_ops_per_sec']:,}/s "
+          f"decode {codec['decode_ops_per_sec']:,}/s "
+          f"({codec['bytes_per_op']} B/op)")
+    cap = snapshot["capture_overhead"]
+    print(f"capture {cap['tag']} {cap['ops']:,} ops: live {cap['live_ms']}ms "
+          f"record {cap['record_ms']}ms -> {cap['overhead_x']}x")
+    replay = snapshot["streamed_replay"]
+    for length, res in replay["per_length"].items():
+        print(f"replay {int(length):>9,} ops: "
+              f"stream {res['streamed_ops_per_sec']:>7,}/s "
+              f"rss {res['streamed_maxrss_mb']:6.1f}MB | "
+              f"inmem rss {res['inmem_maxrss_mb']:6.1f}MB")
+    print(f"streamed rss growth {replay['streamed_rss_growth']}x vs "
+          f"inmem {replay['inmem_rss_growth']}x "
+          f"(1.0 = RSS independent of trace length)")
+    print(f"snapshot '{args.label}' appended to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

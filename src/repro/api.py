@@ -30,10 +30,17 @@ The surface groups into:
   exporters;
 * **conformance** — the atomic reference model (``AtomicMachine``,
   ``run_reference``) and the differential oracle (``run_differential``,
-  ``differential_check``, ``diff_workload``) comparing the detailed
-  simulator's memory images, detection verdicts and metadata against it
-  across all protocol modes (campaign driver: ``repro.check.diff`` /
-  ``python -m repro.cli diff``).
+  ``differential_check``, ``diff_workload``, ``diff_trace``) comparing the
+  detailed simulator's memory images, detection verdicts and metadata
+  against it across all protocol modes (campaign driver:
+  ``repro.check.diff`` / ``python -m repro.cli diff``);
+* **traces** — the binary ``.rtrace`` access-trace layer
+  (``repro.workloads.trace``): ``record_trace`` freezes any workload into
+  a trace, ``synthesize_trace`` generates one from a ``SharingProfile``,
+  ``trace_spec``/``TraceRef`` replay it through the engine with the
+  content digest keying the result cache, and
+  ``trace_info``/``verify_trace``/``read_trace`` inspect trace files
+  (CLI: ``trace-record`` / ``trace-run`` / ``trace-info``).
 """
 
 from __future__ import annotations
@@ -100,12 +107,31 @@ from repro.faults import (
 from repro.check.diff import (
     DiffReport,
     Divergence,
+    diff_trace,
     diff_workload,
     differential_check,
     run_differential,
 )
 from repro.check.refmodel import AtomicMachine, RefResult, run_reference
 from repro.harness.runner import execute_spec_with_machine
+
+# -- traces ----------------------------------------------------------------
+
+from repro.workloads.trace import (
+    SharingProfile,
+    TraceFormatError,
+    TraceInfo,
+    TraceRef,
+    TraceWorkload,
+    TraceWriter,
+    iter_thread_ops,
+    read_trace,
+    record_trace,
+    synthesize_trace,
+    trace_info,
+    trace_spec,
+    verify_trace,
+)
 
 # -- observability ---------------------------------------------------------
 
@@ -178,11 +204,26 @@ __all__ = [
     "DiffReport",
     "Divergence",
     "RefResult",
+    "diff_trace",
     "diff_workload",
     "differential_check",
     "execute_spec_with_machine",
     "run_differential",
     "run_reference",
+    # traces
+    "SharingProfile",
+    "TraceFormatError",
+    "TraceInfo",
+    "TraceRef",
+    "TraceWorkload",
+    "TraceWriter",
+    "iter_thread_ops",
+    "read_trace",
+    "record_trace",
+    "synthesize_trace",
+    "trace_info",
+    "trace_spec",
+    "verify_trace",
     # observability
     "InvariantViolation",
     "Sanitizer",

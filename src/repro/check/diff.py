@@ -712,3 +712,82 @@ def diff_workload(spec, compare_bytes: bool = True) -> DiffReport:
                         f"machine {got[lo:lo + gran].hex()} != reference "
                         f"{want[lo:lo + gran].hex()}"))
     return report
+
+
+def diff_trace(
+    path,
+    modes: Optional[List[ProtocolMode]] = None,
+    config: Optional[SystemConfig] = None,
+    mutation: Optional[str] = None,
+    check_verdicts: bool = True,
+    check_counters: bool = True,
+    max_events: int = 5_000_000,
+) -> DiffReport:
+    """Differential check of a replayed ``.rtrace`` trace: stream the trace
+    through the detailed machine under every requested mode and drive the
+    same per-thread op streams on the atomic reference (fair round-robin).
+
+    A trace froze value-dependent control flow under its capture
+    interleaving, so replays under other modes/timings may interleave racy
+    granules differently — full-image equality against the reference is
+    *not* a sound oracle here (unlike fuzz schedules).  What is sound on
+    any trace, and what this checks per mode:
+
+    * verdicts, mode purity, SAM/PAM metadata subsetting and counter
+      bounds — all derived from the access *sets*, which are identical in
+      every interleaving of the same op streams;
+    * byte equality on granules only one core ever touched (their final
+      content is interleaving-independent), mirroring
+      :func:`diff_workload`.
+
+    As with :func:`run_differential`, the reference always executes the
+    unmutated specification; a seeded ``mutation`` must diverge from it.
+    """
+    from repro.workloads.trace import TracePrograms, TraceWorkload, \
+        trace_info
+
+    info = trace_info(path)
+    modes = list(modes or ProtocolMode)
+    config = config or fuzz_config(info.num_threads)
+    if config.block_size != info.block_size:
+        raise ReproError(
+            f"{info.path}: trace line size {info.block_size}B does not "
+            f"match config.block_size={config.block_size}B")
+    atomic = run_programs_atomic(TraceWorkload(path).programs(), config)
+    ref = RefResult(machine=atomic)
+    gran = atomic.granularity
+    report = DiffReport(modes_run=list(modes))
+    factory = TracePrograms(info.path, info.digest, info.num_threads,
+                            info.block_size)
+    for mode in modes:
+        with mutation_context(mutation):
+            machine = build_machine(config, mode)
+            machine.attach_programs(program_factory=factory)
+            try:
+                Simulator(machine, max_events=max_events).run()
+            except (ReproError, AssertionError) as exc:
+                report.divergences.append(Divergence(
+                    "run", mode, None,
+                    f"{type(exc).__name__}: {exc}"))
+                continue
+        per_mode = differential_check(
+            machine, ref, check_memory=False,
+            check_verdicts=check_verdicts, check_counters=check_counters)
+        report.divergences.extend(per_mode.divergences)
+        image = flush_machine_memory(machine)
+        for block in atomic.blocks():
+            pairs = atomic.single_accessor_granules(block)
+            if not pairs:
+                continue
+            want = atomic.image().get(block)
+            got = bytes(image.get(block))
+            report.blocks_compared += 1
+            for granule, core in pairs:
+                lo = granule * gran
+                if got[lo:lo + gran] != want[lo:lo + gran]:
+                    report.divergences.append(Divergence(
+                        "memory", mode, block,
+                        f"single-accessor granule {granule} (core {core}): "
+                        f"machine {got[lo:lo + gran].hex()} != reference "
+                        f"{want[lo:lo + gran].hex()}"))
+    return report

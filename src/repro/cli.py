@@ -32,9 +32,19 @@
 * ``trace <tag|experiment>`` — run one workload with the observability
   layer attached and export a Chrome-trace/Perfetto JSON timeline of its
   detection/privatization episodes and metric time series.
+* ``trace-record <tag>`` — run one workload live and freeze its
+  per-thread access streams into a binary ``.rtrace`` file
+  (:mod:`repro.workloads.trace`).
+* ``trace-run <path>`` — replay an ``.rtrace`` trace through the engine
+  (streamed, bounded memory; the trace's content digest keys the result
+  cache) and print the run's stats.
+* ``trace-info <path>`` — inspect an ``.rtrace`` file: header fields,
+  and by default a full streaming scan verifying structure, per-thread
+  op counts and the content digest.
 * ``bench`` — run the committed microbenchmark suites
-  (``benchmarks/bench_kernel.py``, ``benchmarks/bench_snapshot.py``) and
-  append a labelled snapshot to their trajectory JSONs.
+  (``benchmarks/bench_kernel.py``, ``benchmarks/bench_snapshot.py``,
+  ``benchmarks/bench_trace.py``) and append a labelled snapshot to their
+  trajectory JSONs.
 * ``list`` — available workloads and experiments.
 
 Every simulating command accepts ``--jobs N`` (fan simulations out over N
@@ -327,13 +337,53 @@ def _parser() -> argparse.ArgumentParser:
                             "scale 0.1)")
     _add_engine_args(trc_p)
 
+    rec_p = sub.add_parser(
+        "trace-record", help="freeze one workload's access streams into a "
+                             "binary .rtrace file")
+    rec_p.add_argument("tag", choices=sorted(REGISTRY))
+    rec_p.add_argument("--out", metavar="PATH", required=True,
+                       help=".rtrace file to write")
+    rec_p.add_argument("--protocol", default="mesi",
+                       choices=[m.value for m in ProtocolMode],
+                       help="capture mode (replay under the same mode is "
+                            "cycle-identical to the live run; default mesi)")
+    rec_p.add_argument("--layout", default="packed",
+                       choices=["packed", "padded", "huron"])
+    rec_p.add_argument("--scale", type=float, default=1.0)
+    rec_p.add_argument("--threads", type=int, default=4)
+    rec_p.add_argument("--seed", type=int, default=0)
+    rec_p.add_argument("--core", default="inorder",
+                       choices=["inorder", "ooo"])
+    rec_p.add_argument("--chunk-ops", type=int, default=4096, metavar="N",
+                       help="ops per compressed frame (default 4096)")
+
+    trun_p = sub.add_parser(
+        "trace-run", help="replay an .rtrace trace through the engine "
+                          "(streamed, bounded memory)")
+    trun_p.add_argument("path", help=".rtrace file to replay")
+    trun_p.add_argument("--protocol", default=None,
+                        choices=[m.value for m in ProtocolMode],
+                        help="replay mode (default: the capture mode "
+                             "recorded in the trace metadata)")
+    trun_p.add_argument("--check", action="store_true",
+                        help="fully verify the trace (structure, counts, "
+                             "content digest) before replaying")
+    _add_engine_args(trun_p)
+
+    tinfo_p = sub.add_parser(
+        "trace-info", help="inspect an .rtrace file header and verify its "
+                           "content digest")
+    tinfo_p.add_argument("path", help=".rtrace file to inspect")
+    tinfo_p.add_argument("--quick", action="store_true",
+                         help="header only; skip the full streaming scan")
+
     bench_p = sub.add_parser(
         "bench", help="run the committed microbenchmark suites "
-                      "(benchmarks/bench_kernel.py and "
-                      "benchmarks/bench_snapshot.py) and append a "
+                      "(benchmarks/bench_kernel.py, bench_snapshot.py and "
+                      "bench_trace.py) and append a "
                       "labelled snapshot to their results JSONs")
     bench_p.add_argument("suite", nargs="?", default="all",
-                         choices=["all", "kernel", "snapshot"],
+                         choices=["all", "kernel", "snapshot", "trace"],
                          help="which suite to run (default all)")
     bench_p.add_argument("--label", default="local",
                          help="snapshot label recorded in the results "
@@ -796,7 +846,68 @@ def _cmd_trace(args) -> int:
     return 0 if ok else 1
 
 
-_BENCH_SUITES = {"kernel": "bench_kernel.py", "snapshot": "bench_snapshot.py"}
+def _cmd_trace_record(args) -> int:
+    import os
+
+    from repro.workloads.trace import record_trace
+
+    spec = RunSpec(tag=args.tag, mode=ProtocolMode(args.protocol),
+                   layout=args.layout, scale=args.scale,
+                   num_threads=args.threads, seed=args.seed,
+                   core_model=args.core)
+    info, record = record_trace(spec, args.out, chunk_ops=args.chunk_ops)
+    size = os.path.getsize(info.path)
+    per_op = size / info.total_ops if info.total_ops else 0.0
+    print(f"recorded {info.total_ops} op(s) from {args.tag} under "
+          f"{spec.mode.value} in {record.cycles} cycle(s)")
+    print(f"trace    {info.path} ({size} bytes, {per_op:.2f} B/op)")
+    print(f"digest   {info.digest}")
+    print(f"replay   python -m repro.cli trace-run {info.path}")
+    return 0
+
+
+def _cmd_trace_run(args) -> int:
+    from repro.workloads.trace import trace_spec, verify_trace
+
+    if args.check:
+        info = verify_trace(args.path)
+        print(f"verified {info.total_ops} op(s), digest ok", file=sys.stderr)
+    spec = trace_spec(args.path, mode=args.protocol)
+    engine = _engine_from_args(args)
+    record = engine.run_one(spec)
+    print(f"replayed {spec.trace.digest[:12]}… under {spec.mode.value} "
+          f"({spec.num_threads} thread(s))")
+    for key, value in record.stats.summary().items():
+        print(f"{key:22s} {value}")
+    return 0
+
+
+def _cmd_trace_info(args) -> int:
+    from repro.workloads.trace import trace_info, verify_trace
+
+    info = trace_info(args.path) if args.quick else verify_trace(args.path)
+    print(f"path        {info.path}")
+    print(f"version     {info.version}")
+    print(f"threads     {info.num_threads}")
+    print(f"line size   {info.block_size} B")
+    print(f"total ops   {info.total_ops}")
+    print(f"digest      {info.digest}")
+    source = info.meta.get("source")
+    if isinstance(source, dict) and source:
+        print("source      "
+              + " ".join(f"{k}={v}" for k, v in sorted(source.items())))
+    if "profile" in info.meta:
+        print("synthesized from a sharing profile")
+    if info.per_thread_ops is not None:
+        print(f"ops/thread  {info.per_thread_ops}")
+        for kind, count in (info.kind_counts or {}).items():
+            print(f"  {kind:10s} {count}")
+        print("verified    structure, counts and content digest ok")
+    return 0
+
+
+_BENCH_SUITES = {"kernel": "bench_kernel.py", "snapshot": "bench_snapshot.py",
+                 "trace": "bench_trace.py"}
 
 
 def _load_bench(path) -> object:
@@ -859,6 +970,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diff": _cmd_diff,
         "profile": _cmd_profile,
         "trace": _cmd_trace,
+        "trace-record": _cmd_trace_record,
+        "trace-run": _cmd_trace_run,
+        "trace-info": _cmd_trace_info,
         "bench": _cmd_bench,
         "list": _cmd_list,
     }[args.command]

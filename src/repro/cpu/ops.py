@@ -137,21 +137,53 @@ class CasModify:
         return self.new if old == self.expect else old
 
 
-def fetch_add(addr: int, delta: int = 1, size: int = 4) -> Op:
+#: Interned FETCH_ADD and COMPUTE ops, same rationale (and safety
+#: argument: immutability, no identity keying) as ``_LOAD_CACHE``.  Counter
+#: workloads fetch-add the same address millions of times, and trace replay
+#: re-materialises every op from disk — interning makes both a dict hit.
+#: CAS is left uninterned: its ``expect`` operand is usually a just-loaded
+#: value, so keys would rarely repeat.
+_FETCH_ADD_CACHE: dict = {}
+_FETCH_ADD_CACHE_MAX = 1 << 14
+_COMPUTE_CACHE: dict = {}
+_COMPUTE_CACHE_MAX = 1 << 10
+
+
+def fetch_add(addr: int, delta: int = 1, size: int = 4,
+              need_value: bool = False) -> Op:
     """Atomic fetch-and-add (result wraps at the access size)."""
-    mask = (1 << (8 * size)) - 1
-    return rmw(addr, FetchAddModify(delta, mask), size=size,
-               need_value=False)
+    key = (addr, delta, size, need_value)
+    op = _FETCH_ADD_CACHE.get(key)
+    if op is None:
+        if len(_FETCH_ADD_CACHE) >= _FETCH_ADD_CACHE_MAX:
+            _FETCH_ADD_CACHE.clear()
+        mask = (1 << (8 * size)) - 1
+        op = rmw(addr, FetchAddModify(delta, mask), size=size,
+                 need_value=need_value)
+        _FETCH_ADD_CACHE[key] = op
+    return op
 
 
-def cas(addr: int, expect: int, new: int, size: int = 4) -> Op:
+def cas(addr: int, expect: int, new: int, size: int = 4,
+        need_value: bool = True) -> Op:
     """Compare-and-swap; the program checks the returned old value."""
-    return rmw(addr, CasModify(expect, new), size=size)
+    return rmw(addr, CasModify(expect, new), size=size,
+               need_value=need_value)
 
 
 def compute(cycles: int) -> Op:
-    return Op(OpKind.COMPUTE, cycles=cycles, need_value=False)
+    op = _COMPUTE_CACHE.get(cycles)
+    if op is None:
+        if len(_COMPUTE_CACHE) >= _COMPUTE_CACHE_MAX:
+            _COMPUTE_CACHE.clear()
+        op = Op(OpKind.COMPUTE, cycles=cycles, need_value=False)
+        _COMPUTE_CACHE[cycles] = op
+    return op
+
+
+#: FENCE carries no operands at all — one shared instance suffices.
+_FENCE = Op(OpKind.FENCE, need_value=False)
 
 
 def fence() -> Op:
-    return Op(OpKind.FENCE, need_value=False)
+    return _FENCE

@@ -26,6 +26,7 @@ from repro.system.builder import build_machine
 from repro.system.simulator import Simulator, flush_machine_memory
 from repro.system.stats import SimStats
 from repro.workloads.registry import make_workload
+from repro.workloads.trace import TracePrograms, TraceRef
 
 #: The paper evaluates with 4 child threads on an 8-core machine.
 DEFAULT_THREADS = 4
@@ -61,6 +62,14 @@ class RunSpec:
     #: snapshot instead of re-simulating the prefix.  0 = always cold.
     #: Results are bit-for-bit identical either way.
     warmup: int = 0
+    #: Content-addressed ``.rtrace`` reference (None = live workload).
+    #: When set, thread programs stream from the trace file instead of
+    #: ``make_workload(tag)`` — ``tag``/``layout``/``scale``/``seed`` become
+    #: labels only — and the trace's content digest is part of the spec's
+    #: serialized form, keying the result cache and warm-start snapshots.
+    #: ``verify`` is ignored (traces carry no expected-result predicate).
+    #: Build replay specs with :func:`repro.workloads.trace.trace_spec`.
+    trace: Optional[TraceRef] = None
 
     #: Valid ``layout`` / ``core_model`` values (fail at construction, not
     #: deep inside a worker process half a batch later).
@@ -94,6 +103,10 @@ class RunSpec:
         if self.warmup < 0:
             raise ConfigError(
                 f"RunSpec.warmup={self.warmup} must be >= 0")
+        if self.trace is not None and not isinstance(self.trace, TraceRef):
+            raise ConfigError(
+                "RunSpec.trace must be a TraceRef (use TraceRef.of(path) "
+                "or repro.workloads.trace.trace_spec)")
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe plain-dict form (inverse of :meth:`from_dict`)."""
@@ -116,6 +129,9 @@ class RunSpec:
             d["obs"] = asdict(self.obs)
         if self.warmup:
             d["warmup"] = self.warmup
+        if self.trace is not None:
+            d["trace"] = {"path": self.trace.path,
+                          "digest": self.trace.digest}
         return d
 
     @classmethod
@@ -134,12 +150,23 @@ class RunSpec:
             obs=(ObsConfig(**data["obs"]) if data.get("obs") is not None
                  else None),
             warmup=data.get("warmup", 0),
+            trace=(TraceRef(path=data["trace"]["path"],
+                            digest=data["trace"]["digest"])
+                   if data.get("trace") is not None else None),
         )
 
     def digest(self) -> str:
-        """Stable content hash of the spec (identical across processes)."""
-        payload = json.dumps(self.to_dict(), sort_keys=True,
-                             separators=(",", ":"))
+        """Stable content hash of the spec (identical across processes).
+
+        For trace specs the trace file's *path* is excluded: the content
+        digest alone identifies the replayed op streams, so the same trace
+        replays to the same cache slot from any checkout location, and a
+        committed golden manifest keyed by spec digest stays portable.
+        """
+        d = self.to_dict()
+        if "trace" in d:
+            d["trace"] = {"digest": d["trace"]["digest"]}
+        payload = json.dumps(d, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
 
 
@@ -223,9 +250,14 @@ def _build_and_attach(spec: RunSpec):
     attached (sanitizer/observers land in ``machine.extras`` so they
     travel with snapshots).  Returns the machine, not yet started."""
     machine = build_machine(spec.config, spec.mode)
+    if spec.trace is not None:
+        factory = TracePrograms(spec.trace.path, spec.trace.digest,
+                                spec.num_threads, spec.config.block_size)
+    else:
+        factory = _WorkloadPrograms(spec.tag, spec.num_threads, spec.scale,
+                                    spec.layout, spec.seed)
     machine.attach_programs(
-        program_factory=_WorkloadPrograms(spec.tag, spec.num_threads,
-                                          spec.scale, spec.layout, spec.seed),
+        program_factory=factory,
         core_model=spec.core_model, ooo_window=spec.ooo_window)
     if spec.config.sanitizer.enabled:
         # Imported lazily: the sanitizer is opt-in and nothing on the plain
@@ -305,7 +337,7 @@ def execute_spec_with_machine(spec: RunSpec, warm=None):
         if sampler is not None:
             sampler.finish(machine.queue.now)
             sampler.detach()
-    if spec.verify:
+    if spec.verify and spec.trace is None:
         workload = make_workload(spec.tag, num_threads=spec.num_threads,
                                  scale=spec.scale, layout=spec.layout,
                                  seed=spec.seed)

@@ -13,6 +13,21 @@ from repro.workloads.registry import (
     NO_FS_WORKLOADS,
     make_workload,
 )
+from repro.workloads.trace import (
+    SharingProfile,
+    TraceFormatError,
+    TraceInfo,
+    TraceRef,
+    TraceWorkload,
+    TraceWriter,
+    iter_thread_ops,
+    read_trace,
+    record_trace,
+    synthesize_trace,
+    trace_info,
+    trace_spec,
+    verify_trace,
+)
 
 __all__ = [
     "Workload",
@@ -22,4 +37,17 @@ __all__ = [
     "FS_WORKLOADS",
     "NO_FS_WORKLOADS",
     "make_workload",
+    "SharingProfile",
+    "TraceFormatError",
+    "TraceInfo",
+    "TraceRef",
+    "TraceWorkload",
+    "TraceWriter",
+    "iter_thread_ops",
+    "read_trace",
+    "record_trace",
+    "synthesize_trace",
+    "trace_info",
+    "trace_spec",
+    "verify_trace",
 ]

@@ -1,0 +1,78 @@
+"""Regenerate the golden-trace conformance corpus.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/data/traces/regen.py
+
+For each (workload, protocol mode) pair the script records the live run
+into a committed ``.rtrace`` file and pins, in ``manifest.json``:
+
+* the **replay spec digest** (manifest key) — ``trace_spec(file).digest()``,
+  which is path-independent (only the trace *content* digest is hashed),
+  so the manifest is valid from any checkout location;
+* the trace content digest and total op count;
+* the live run's cycle count, message total and canonical stats sha256.
+
+``tests/test_trace_golden.py`` then asserts that replaying each committed
+trace is stats-digest-identical to the live workload under the same mode.
+One trace is recorded *per mode* because thread programs are
+value-dependent (spin loops, CAS retries): a trace captured under MESI
+replays cycle-identically under MESI but is not an identity oracle for
+FSDETECT, whose interleaving differs.
+
+The corpus spans the four paper workloads exercised by the repo's golden
+identity table tier (RC, LL, LT, BS) plus two synthetic sharing patterns
+(ww, is), all at ``scale=0.1`` and ``seed=0`` so the files stay a few KB.
+"""
+
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+TAGS = ["RC", "LL", "LT", "BS", "ww", "is"]
+MODES = ["mesi", "fsdetect", "fslite"]
+SCALE = 0.1
+SEED = 0
+
+
+def main() -> int:
+    from repro.coherence.states import ProtocolMode
+    from repro.harness.export import record_stats_digest
+    from repro.harness.runner import RunSpec
+    from repro.workloads.trace import record_trace, trace_spec
+
+    manifest = {}
+    for tag in TAGS:
+        for mode in MODES:
+            name = f"{tag}_{mode}.rtrace"
+            path = HERE / name
+            spec = RunSpec(tag=tag, mode=ProtocolMode(mode), scale=SCALE,
+                           seed=SEED)
+            info, record = record_trace(spec, path)
+            replay = trace_spec(path)
+            manifest[replay.digest()] = {
+                "file": name,
+                "tag": tag,
+                "mode": mode,
+                "scale": SCALE,
+                "seed": SEED,
+                "num_threads": info.num_threads,
+                "trace_digest": info.digest,
+                "total_ops": info.total_ops,
+                "cycles": record.cycles,
+                "msgs_total": record.stats.network["msgs_total"],
+                "stats_sha256": record_stats_digest(record),
+            }
+            print(f"{name:22s} ops={info.total_ops:6d} "
+                  f"cycles={record.cycles:6d} digest={info.digest[:12]}")
+
+    out = HERE / "manifest.json"
+    out.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(manifest)} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,3 +52,57 @@ class TestCli:
 
     def test_run_ooo_core(self, capsys):
         assert main(["run", "ww", "--core", "ooo", "--scale", "0.1"]) == 0
+
+
+class TestTraceCli:
+    """The trace verbs: record a live workload, inspect the file, replay
+    it through the engine — end to end through ``main``."""
+
+    @pytest.fixture()
+    def recorded(self, tmp_path, capsys):
+        path = tmp_path / "ww.rtrace"
+        assert main(["trace-record", "ww", "--scale", "0.1",
+                     "--protocol", "fslite", "--out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_trace_record(self, tmp_path, capsys):
+        path = tmp_path / "t.rtrace"
+        assert main(["trace-record", "ww", "--scale", "0.1",
+                     "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert path.exists()
+        assert "op(s)" in out and "trace" in out and "replay" in out
+
+    def test_trace_info(self, recorded, capsys):
+        assert main(["trace-info", str(recorded)]) == 0
+        out = capsys.readouterr().out
+        assert "threads" in out and "ww" in out and "fslite" in out
+
+    def test_trace_info_quick_skips_scan(self, recorded, capsys):
+        assert main(["trace-info", str(recorded), "--quick"]) == 0
+        assert "threads" in capsys.readouterr().out
+
+    def test_trace_run_replays_capture_mode(self, recorded, capsys):
+        assert main(["trace-run", str(recorded), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "fslite" in out
+
+    def test_trace_run_mode_override(self, recorded, capsys):
+        assert main(["trace-run", str(recorded),
+                     "--protocol", "mesi"]) == 0
+        assert "mesi" in capsys.readouterr().out
+
+    def test_trace_run_rejects_corrupt_file(self, recorded, capsys):
+        blob = bytearray(recorded.read_bytes())
+        blob[-10] ^= 0xFF
+        bad = recorded.parent / "bad.rtrace"
+        bad.write_bytes(bytes(blob))
+        assert main(["trace-run", str(bad), "--check"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_info_rejects_garbage(self, tmp_path, capsys):
+        junk = tmp_path / "junk.rtrace"
+        junk.write_bytes(b"not a trace at all")
+        assert main(["trace-info", str(junk)]) == 1
+        assert "error:" in capsys.readouterr().err

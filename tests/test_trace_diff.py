@@ -1,0 +1,109 @@
+"""Differential-oracle coverage for trace-driven input.
+
+``diff_trace`` replays one ``.rtrace`` file through every protocol mode
+and checks each detailed run against the atomic reference model — the
+same oracle ``diff_workload`` applies to live workloads, but fed from the
+frozen op streams of a trace.  Covered here:
+
+* the oracle is **clean** on captured and synthesized traces across all
+  three modes (memory-soundness is restricted to single-accessor granules,
+  exactly as for live racy workloads);
+* the oracle **catches seeded bugs** (mutation-escape probes): a
+  detection-layer mutation from :mod:`repro.check.mutations` must be
+  caught when driven from a false-sharing trace, proving trace replay
+  exercises the same SAM/PAM machinery as live runs;
+* the live and trace-driven oracles **agree** on the same workload, both
+  clean and mutated.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.check.diff import diff_trace, diff_workload
+from repro.check.mutations import mutation_context
+from repro.coherence.states import ProtocolMode
+from repro.harness.runner import RunSpec
+from repro.workloads.trace import (
+    SharingProfile,
+    record_trace,
+    synthesize_trace,
+)
+
+TRACE_DIR = pathlib.Path(__file__).parent / "data" / "traces"
+
+
+# Classic false sharing, synthesized: each thread owns a private 8-byte
+# slot of the shared fs lines, so every granule is single-accessor (the
+# memory compare covers them) while the *lines* ping-pong between cores
+# (SAM/PAM engage).  Detection mutations cannot hide here.
+_FALSE_SHARING = SharingProfile(num_threads=4, ops_per_thread=300,
+                                fs_lines=2, ts_lines=0, private_lines=4,
+                                fs_fraction=0.4, ts_fraction=0.0,
+                                write_fraction=0.6, rmw_fraction=0.2,
+                                seed=7)
+
+_MIXED = SharingProfile(num_threads=4, ops_per_thread=250,
+                        fs_lines=2, ts_lines=1, private_lines=4,
+                        fs_fraction=0.3, ts_fraction=0.1, seed=11)
+
+
+def test_diff_clean_on_captured_trace():
+    report = diff_trace(TRACE_DIR / "RC_fsdetect.rtrace")
+    assert report.ok, report.describe()
+    assert set(report.modes_run) == set(ProtocolMode)
+    assert report.blocks_compared > 0
+
+
+@pytest.mark.parametrize("profile", [_FALSE_SHARING, _MIXED],
+                         ids=["false-sharing", "mixed"])
+def test_diff_clean_on_synthesized_trace(profile, tmp_path):
+    path = tmp_path / "synth.rtrace"
+    synthesize_trace(profile, path)
+    report = diff_trace(path)
+    assert report.ok, report.describe()
+    assert set(report.modes_run) == set(ProtocolMode)
+
+
+@pytest.mark.parametrize("mutation,mode", [
+    ("sam-drops-writes", ProtocolMode.FSLITE),
+    ("pam-reads-count-as-writes", ProtocolMode.FSDETECT),
+])
+def test_mutation_escape_probe(mutation, mode, tmp_path):
+    """Seeded detection bugs must not escape the oracle under trace-driven
+    input.  ``sam-drops-writes`` corrupts repaired bytes (caught by the
+    single-accessor memory compare under FSLITE); ``pam-reads-count-as-
+    writes`` inflates write metadata (caught by the PAM subset check under
+    FSDETECT).  A probe that stops failing here means the oracle lost
+    coverage of that layer, not that the bug became harmless."""
+    path = tmp_path / "probe.rtrace"
+    synthesize_trace(_FALSE_SHARING, path)
+    clean = diff_trace(path, modes=[mode])
+    assert clean.ok, \
+        f"probe trace must be clean unmutated: {clean.describe()}"
+    mutated = diff_trace(path, modes=[mode], mutation=mutation)
+    assert not mutated.ok, \
+        f"mutation {mutation!r} escaped the trace-driven oracle"
+
+
+def test_trace_and_workload_oracles_agree(tmp_path):
+    """Live and trace-driven oracles give the same verdict on the same
+    workload: clean on the unmutated run, divergent under the same seeded
+    bug.  The workload's own ``verify`` is disabled so the *differential*
+    compare (not the workload's self-check) is what does the catching on
+    the live side, matching what the trace side has available."""
+    spec = RunSpec(tag="ww", mode=ProtocolMode.FSLITE, scale=0.1, seed=3,
+                   verify=False)
+    path = tmp_path / "ww.rtrace"
+    record_trace(spec, path)
+
+    assert diff_workload(spec).ok
+    assert diff_trace(path, modes=[ProtocolMode.FSLITE]).ok
+
+    with mutation_context("sam-drops-writes"):
+        live = diff_workload(spec)
+    traced = diff_trace(path, modes=[ProtocolMode.FSLITE],
+                        mutation="sam-drops-writes")
+    assert not live.ok and not traced.ok, (
+        "sam-drops-writes must be caught by both oracles: "
+        f"live={live.ok} traced={traced.ok}")

@@ -1,0 +1,259 @@
+"""Property tests for the ``.rtrace`` codec (:mod:`repro.workloads.trace`).
+
+Three families of properties:
+
+* **round-trip** — encode→decode is the identity on arbitrary op streams
+  (kind, address, size, value/delta/operands, ``need_value`` all survive);
+* **digest stability** — the content digest depends only on the per-thread
+  op streams, not on chunking or append interleaving;
+* **rejection** — every strict prefix of a valid file and every byte-level
+  corruption outside the (unhashed) metadata region raises a structured
+  :class:`TraceFormatError`; arbitrary garbage never parses.  The codec
+  contains no ``pickle`` at all, so malformed input can only fail, never
+  execute.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import ops
+from repro.cpu.ops import CasModify, FetchAddModify, Op, OpKind
+from repro.workloads.trace import (
+    HEADER_SIZE,
+    MAGIC,
+    TraceFormatError,
+    TraceWriter,
+    read_trace,
+    trace_info,
+    verify_trace,
+)
+
+# ------------------------------------------------------------- strategies
+
+_SIZES = (1, 2, 4, 8)
+
+
+def _aligned_addr(draw, size):
+    return draw(st.integers(min_value=0, max_value=1 << 20)) * size
+
+
+@st.composite
+def _op(draw):
+    size = draw(st.sampled_from(_SIZES))
+    kind = draw(st.sampled_from(
+        ["load", "store", "fetch_add", "cas", "compute", "fence"]))
+    need = draw(st.booleans())
+    if kind == "load":
+        return ops.load(_aligned_addr(draw, size), size=size,
+                        need_value=need)
+    if kind == "store":
+        value = draw(st.integers(min_value=0,
+                                 max_value=(1 << (8 * size)) - 1))
+        return ops.store(_aligned_addr(draw, size), value, size=size)
+    if kind == "fetch_add":
+        delta = draw(st.integers(min_value=-(1 << 16), max_value=1 << 16))
+        return ops.fetch_add(_aligned_addr(draw, size), delta, size=size,
+                             need_value=need)
+    if kind == "cas":
+        bound = (1 << (8 * size)) - 1
+        expect = draw(st.integers(min_value=0, max_value=bound))
+        new = draw(st.integers(min_value=0, max_value=bound))
+        return ops.cas(_aligned_addr(draw, size), expect, new, size=size,
+                       need_value=need)
+    if kind == "compute":
+        return ops.compute(draw(st.integers(min_value=0, max_value=10_000)))
+    return ops.fence()
+
+
+_streams = st.lists(st.lists(_op(), max_size=40), min_size=1, max_size=3)
+_chunk_ops = st.integers(min_value=1, max_value=64)
+
+
+def _write(path, streams, chunk_ops=16, block_size=64):
+    writer = TraceWriter(path, num_threads=len(streams),
+                         block_size=block_size, chunk_ops=chunk_ops)
+    for tid, stream in enumerate(streams):
+        for op in stream:
+            writer.append(tid, op)
+    return writer.close()
+
+
+def _assert_same_op(a: Op, b: Op) -> None:
+    assert a.kind is b.kind
+    assert a.need_value == b.need_value
+    if a.kind is OpKind.COMPUTE:
+        assert a.cycles == b.cycles
+        return
+    if a.kind is OpKind.FENCE:
+        return
+    assert (a.addr, a.size) == (b.addr, b.size)
+    if a.kind is OpKind.STORE:
+        assert a.value == b.value
+    elif a.kind is OpKind.RMW:
+        assert type(a.modify) is type(b.modify)
+        if isinstance(a.modify, FetchAddModify):
+            assert (a.modify.delta, a.modify.mask) == \
+                (b.modify.delta, b.modify.mask)
+        else:
+            assert (a.modify.expect, a.modify.new) == \
+                (b.modify.expect, b.modify.new)
+
+
+# -------------------------------------------------------------- round-trip
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams=_streams, chunk_ops=_chunk_ops)
+def test_roundtrip_identity(tmp_path_factory, streams, chunk_ops):
+    path = tmp_path_factory.mktemp("rt") / "t.rtrace"
+    info = _write(path, streams, chunk_ops=chunk_ops)
+    assert info.num_threads == len(streams)
+    assert info.total_ops == sum(len(s) for s in streams)
+    read_info, decoded = read_trace(path)
+    assert read_info.digest == info.digest
+    assert read_info.per_thread_ops == [len(s) for s in streams]
+    for want, got in zip(streams, decoded):
+        assert len(want) == len(got)
+        for a, b in zip(want, got):
+            _assert_same_op(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(streams=_streams, chunks=st.tuples(_chunk_ops, _chunk_ops))
+def test_digest_independent_of_chunking(tmp_path_factory, streams, chunks):
+    base = tmp_path_factory.mktemp("dg")
+    a = _write(base / "a.rtrace", streams, chunk_ops=chunks[0])
+    b = _write(base / "b.rtrace", streams, chunk_ops=chunks[1])
+    assert a.digest == b.digest
+    assert a.total_ops == b.total_ops
+
+
+@settings(max_examples=25, deadline=None)
+@given(streams=st.lists(st.lists(_op(), max_size=20), min_size=2,
+                        max_size=3),
+       seed=st.integers(min_value=0, max_value=1 << 16))
+def test_digest_independent_of_append_interleaving(tmp_path_factory,
+                                                   streams, seed):
+    """Appending thread streams round-robin, shuffled, or sequentially must
+    produce the same content digest: the digest hashes per-thread record
+    bytes, never frame layout."""
+    import random
+
+    base = tmp_path_factory.mktemp("il")
+    sequential = _write(base / "s.rtrace", streams, chunk_ops=5)
+    writer = TraceWriter(base / "i.rtrace", num_threads=len(streams),
+                         chunk_ops=5)
+    pending = [(tid, list(stream)) for tid, stream in enumerate(streams)
+               if stream]
+    rng = random.Random(seed)
+    while pending:
+        tid, stream = pending[rng.randrange(len(pending))]
+        writer.append(tid, stream.pop(0))
+        pending = [(t, s) for t, s in pending if s]
+    interleaved = writer.close()
+    assert interleaved.digest == sequential.digest
+
+
+# -------------------------------------------------------------- rejection
+
+
+@settings(max_examples=25, deadline=None)
+@given(streams=_streams, data=st.data())
+def test_any_truncation_raises(tmp_path_factory, streams, data):
+    """Every strict prefix of a valid trace is invalid: the end frame (and
+    per-thread counts within it) make even frame-boundary cuts loud."""
+    base = tmp_path_factory.mktemp("tr")
+    path = base / "t.rtrace"
+    _write(path, streams, chunk_ops=7)
+    blob = path.read_bytes()
+    cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    trunc = base / "trunc.rtrace"
+    trunc.write_bytes(blob[:cut])
+    with pytest.raises(TraceFormatError):
+        verify_trace(trunc)
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams=_streams, data=st.data())
+def test_any_corruption_outside_meta_raises(tmp_path_factory, streams,
+                                            data):
+    """Flipping any byte outside the (unhashed, informational) JSON
+    metadata region must raise TraceFormatError: header fields are
+    structurally checked, the digest covers all record bytes, zlib's
+    checksum covers each frame, and the end frame pins per-thread counts."""
+    base = tmp_path_factory.mktemp("cor")
+    path = base / "t.rtrace"
+    _write(path, streams, chunk_ops=7)
+    blob = bytearray(path.read_bytes())
+    meta_len = int.from_bytes(blob[48:52], "little")
+    meta_lo, meta_hi = HEADER_SIZE, HEADER_SIZE + meta_len
+    positions = [i for i in range(len(blob)) if not meta_lo <= i < meta_hi
+                 and not 48 <= i < 52]
+    pos = data.draw(st.sampled_from(positions))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    blob[pos] ^= flip
+    bad = base / "bad.rtrace"
+    bad.write_bytes(bytes(blob))
+    with pytest.raises(TraceFormatError):
+        verify_trace(bad)
+
+
+@settings(max_examples=30, deadline=None)
+@given(blob=st.binary(max_size=200))
+def test_garbage_never_parses(tmp_path_factory, blob):
+    """Arbitrary bytes are rejected with a structured error (the codec has
+    no pickle/eval path that random input could reach)."""
+    path = tmp_path_factory.mktemp("gb") / "g.rtrace"
+    path.write_bytes(blob)
+    with pytest.raises(TraceFormatError):
+        verify_trace(path)
+    if len(blob) < HEADER_SIZE or blob[:4] != MAGIC:
+        with pytest.raises(TraceFormatError):
+            trace_info(path)
+
+
+# ------------------------------------------------------ encoder rejection
+
+
+def test_generic_rmw_is_unencodable(tmp_path):
+    writer = TraceWriter(tmp_path / "x.rtrace", num_threads=1)
+    with pytest.raises(TraceFormatError):
+        writer.append(0, ops.rmw(0, lambda old: old ^ 1, size=4))
+    writer.abort()
+
+
+def test_fetch_add_with_foreign_mask_is_unencodable(tmp_path):
+    writer = TraceWriter(tmp_path / "x.rtrace", num_threads=1)
+    op = Op(OpKind.RMW, addr=8, size=4, modify=FetchAddModify(1, 0xFF))
+    with pytest.raises(TraceFormatError):
+        writer.append(0, op)
+    writer.abort()
+
+
+def test_negative_operands_are_unencodable(tmp_path):
+    writer = TraceWriter(tmp_path / "x.rtrace", num_threads=1)
+    with pytest.raises(TraceFormatError):
+        writer.append(0, Op(OpKind.RMW, addr=8, size=4,
+                            modify=CasModify(-1, 0)))
+    writer.abort()
+
+
+def test_closed_writer_rejects_appends(tmp_path):
+    writer = TraceWriter(tmp_path / "x.rtrace", num_threads=1)
+    writer.append(0, ops.load(0, size=4))
+    writer.close()
+    with pytest.raises(TraceFormatError):
+        writer.append(0, ops.load(0, size=4))
+
+
+def test_interned_constructors_are_pure():
+    """Interning must never leak state across calls: equal arguments give
+    equal (here: identical) ops, different arguments give different ops."""
+    assert ops.load(64, size=8) is ops.load(64, size=8)
+    assert ops.fetch_add(64, 2, size=8) is ops.fetch_add(64, 2, size=8)
+    assert ops.compute(5) is ops.compute(5)
+    assert ops.fence() is ops.fence()
+    assert ops.load(64, size=8) is not ops.load(64, size=4)
+    assert ops.fetch_add(64, 2) is not ops.fetch_add(64, 3)
+    a = ops.fetch_add(8, 1, size=2)
+    assert a.modify.mask == 0xFFFF and a.modify.delta == 1
